@@ -1,0 +1,81 @@
+// E3 — update latency as the number of registered views grows (the
+// fraud-detection / monitoring deployment model from the paper's §1:
+// many standing queries, every transaction must clear them all).
+//
+// Expected shape: latency grows roughly linearly with the number of views
+// whose patterns the update touches, and stays near-flat for views it
+// cannot affect (their input nodes filter the delta out immediately).
+
+#include <benchmark/benchmark.h>
+
+#include "engine/query_engine.h"
+#include "workload/social_network.h"
+
+namespace pgivm {
+namespace {
+
+std::vector<std::string> ViewCatalog() {
+  return {
+      "MATCH (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang "
+      "RETURN p, c",
+      "MATCH (m:Comm) RETURN m.lang AS lang, count(*) AS n",
+      "MATCH (u:Person)-[:LIKES]->(m:Post) RETURN m AS msg, count(*) AS l",
+      "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) "
+      "WHERE a.country = c.country RETURN a, c",
+      "MATCH (m:Post) WHERE m.length > 1000 RETURN m",
+      "MATCH (u:Person) UNWIND u.speaks AS lang "
+      "RETURN lang, count(*) AS speakers",
+      "MATCH (c:Comm)-[:HAS_CREATOR]->(u:Person) RETURN u AS a, count(*) "
+      "AS msgs",
+      "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang <> c.lang "
+      "RETURN p, c",
+      "MATCH (u:Person)-[:LIKES]->(m:Post)-[:REPLY]->(c:Comm) "
+      "RETURN u, c",
+      "MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a, count(*) AS degree",
+      "MATCH (m:Comm) WHERE m.length < 50 RETURN m",
+      "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS posts",
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.country = b.country "
+      "RETURN a, b",
+      "MATCH (c:Comm) WHERE c.lang IN ['en', 'de'] RETURN c",
+      "MATCH (u:Person)-[:LIKES]->(m:Post) WHERE m.length > 500 "
+      "RETURN u, m",
+      "MATCH t = (p:Post)-[:REPLY*1..3]->(c:Comm) RETURN p, t",
+  };
+}
+
+void BM_E3_UpdateWithViews(benchmark::State& state) {
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 60;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+  std::vector<std::shared_ptr<View>> views;
+  std::vector<std::string> catalog = ViewCatalog();
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    views.push_back(
+        engine.Register(catalog[static_cast<size_t>(i) % catalog.size()])
+            .value());
+  }
+  for (auto _ : state) {
+    generator.ApplyRandomUpdate(&graph);
+  }
+  int64_t total_rows = 0;
+  for (const auto& view : views) total_rows += view->size();
+  state.counters["views"] = static_cast<double>(views.size());
+  state.counters["total_rows"] = static_cast<double>(total_rows);
+}
+BENCHMARK(BM_E3_UpdateWithViews)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(300);
+
+}  // namespace
+}  // namespace pgivm
+
+BENCHMARK_MAIN();

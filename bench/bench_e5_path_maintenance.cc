@@ -1,0 +1,117 @@
+// E5 — atomic path maintenance (the paper's ORD compromise).
+//
+// Variable-length views materialize whole paths; an edge change inserts or
+// deletes complete paths (never edits one). We measure:
+//  * tail churn on a reply chain of depth d — the number of affected paths
+//    equals d (every prefix gains/loses one extension), so latency should
+//    grow linearly in depth, not with the total path count;
+//  * leaf churn on a reply tree with fanout f and fixed depth — only the
+//    paths through the touched leaf are affected.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/query_engine.h"
+
+namespace pgivm {
+namespace {
+
+constexpr char kThreads[] =
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) RETURN p, t";
+
+void BM_E5_ChainTailChurn(benchmark::State& state) {
+  int64_t depth = state.range(0);
+  PropertyGraph graph;
+  VertexId post = graph.AddVertex({"Post"});
+  VertexId tail = post;
+  for (int64_t i = 0; i < depth; ++i) {
+    VertexId next = graph.AddVertex({"Comm"});
+    (void)graph.AddEdge(tail, next, "REPLY").value();
+    tail = next;
+  }
+  QueryEngine engine(&graph);
+  auto view = engine.Register(kThreads).value();
+  VertexId extra = graph.AddVertex({"Comm"});
+
+  for (auto _ : state) {
+    EdgeId e = graph.AddEdge(tail, extra, "REPLY").value();
+    (void)graph.RemoveEdge(e);
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+  state.counters["paths"] = static_cast<double>(view->size());
+}
+BENCHMARK(BM_E5_ChainTailChurn)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Iterations(300);
+
+void BM_E5_TreeLeafChurn(benchmark::State& state) {
+  // Balanced reply tree: depth 3, fanout f.
+  int64_t fanout = state.range(0);
+  PropertyGraph graph;
+  VertexId post = graph.AddVertex({"Post"});
+  std::vector<VertexId> level{post};
+  for (int d = 0; d < 3; ++d) {
+    std::vector<VertexId> next_level;
+    for (VertexId parent : level) {
+      for (int64_t f = 0; f < fanout; ++f) {
+        VertexId child = graph.AddVertex({"Comm"});
+        (void)graph.AddEdge(parent, child, "REPLY").value();
+        next_level.push_back(child);
+      }
+    }
+    level = std::move(next_level);
+  }
+  QueryEngine engine(&graph);
+  auto view = engine.Register(kThreads).value();
+  VertexId leaf_parent = level.front();
+  VertexId extra = graph.AddVertex({"Comm"});
+
+  for (auto _ : state) {
+    EdgeId e = graph.AddEdge(leaf_parent, extra, "REPLY").value();
+    (void)graph.RemoveEdge(e);
+  }
+  state.counters["fanout"] = static_cast<double>(fanout);
+  state.counters["paths"] = static_cast<double>(view->size());
+}
+BENCHMARK(BM_E5_TreeLeafChurn)->Arg(2)->Arg(3)->Arg(4)->Iterations(300);
+
+void BM_E5_BoundedVsUnbounded(benchmark::State& state) {
+  // Hop bounds limit the affected-path set: *1..2 vs unbounded on the same
+  // deep chain.
+  int64_t max_hops = state.range(0);  // 0 = unbounded
+  PropertyGraph graph;
+  VertexId post = graph.AddVertex({"Post"});
+  VertexId tail = post;
+  for (int64_t i = 0; i < 64; ++i) {
+    VertexId next = graph.AddVertex({"Comm"});
+    (void)graph.AddEdge(tail, next, "REPLY").value();
+    tail = next;
+  }
+  QueryEngine engine(&graph);
+  std::string query =
+      max_hops == 0
+          ? std::string(kThreads)
+          : "MATCH t = (p:Post)-[:REPLY*1.." + std::to_string(max_hops) +
+                "]->(c:Comm) RETURN p, t";
+  auto view = engine.Register(query).value();
+  VertexId extra = graph.AddVertex({"Comm"});
+
+  for (auto _ : state) {
+    EdgeId e = graph.AddEdge(tail, extra, "REPLY").value();
+    (void)graph.RemoveEdge(e);
+  }
+  state.counters["max_hops"] = static_cast<double>(max_hops);
+  state.counters["paths"] = static_cast<double>(view->size());
+}
+BENCHMARK(BM_E5_BoundedVsUnbounded)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(0)
+    ->Iterations(300);
+
+}  // namespace
+}  // namespace pgivm
+
+BENCHMARK_MAIN();

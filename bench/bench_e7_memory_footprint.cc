@@ -1,0 +1,95 @@
+// E7 — the Rete trade-off: memory for latency.
+//
+// Incremental maintenance materializes node memories proportional to the
+// relations flowing through the network. We report, across graph scales:
+// graph-store bytes, per-view network bytes, and the ratio — the price of
+// low-latency maintenance the paper's approach implies.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/query_engine.h"
+#include "workload/social_network.h"
+
+namespace pgivm {
+namespace {
+
+void BM_E7_ViewMemory(benchmark::State& state) {
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = state.range(0);
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+  auto threads = engine
+                     .Register(
+                         "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) "
+                         "WHERE p.lang = c.lang RETURN p, t")
+                     .value();
+  auto stats = engine
+                   .Register("MATCH (m:Comm) RETURN m.lang AS lang, "
+                             "count(*) AS n")
+                   .value();
+  auto likes = engine
+                   .Register("MATCH (u:Person)-[:LIKES]->(m:Post) "
+                             "RETURN m AS msg, count(*) AS l")
+                   .value();
+
+  for (auto _ : state) {
+    // The measured operation: one streamed update against all views.
+    generator.ApplyRandomUpdate(&graph);
+  }
+
+  double graph_bytes = static_cast<double>(graph.ApproxMemoryBytes());
+  double view_bytes =
+      static_cast<double>(threads->ApproxMemoryBytes() +
+                          stats->ApproxMemoryBytes() +
+                          likes->ApproxMemoryBytes());
+  state.counters["graph_kb"] = graph_bytes / 1024.0;
+  state.counters["views_kb"] = view_bytes / 1024.0;
+  state.counters["ratio"] =
+      graph_bytes > 0 ? view_bytes / graph_bytes : 0.0;
+  state.counters["elements"] =
+      static_cast<double>(graph.vertex_count() + graph.edge_count());
+}
+BENCHMARK(BM_E7_ViewMemory)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Iterations(100);
+
+void BM_E7_PerNodeBreakdown(benchmark::State& state) {
+  // One representative view; DebugString carries the per-node breakdown,
+  // printed once for the report.
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 50;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+  auto view = engine
+                  .Register(
+                      "MATCH (a:Person)-[:KNOWS]->(b:Person) "
+                      "WHERE a.country = b.country RETURN a, b")
+                  .value();
+  for (auto _ : state) {
+    generator.ApplyRandomUpdate(&graph);
+  }
+  static bool printed = false;
+  if (!printed) {
+    printed = true;
+    std::string breakdown = view->NetworkDebugString();
+    benchmark::DoNotOptimize(breakdown);
+    state.SetLabel("see stdout");
+    std::fputs("E7 per-node memory breakdown:\n", stdout);
+    std::fputs(breakdown.c_str(), stdout);
+  }
+}
+BENCHMARK(BM_E7_PerNodeBreakdown)->Iterations(100);
+
+}  // namespace
+}  // namespace pgivm
+
+BENCHMARK_MAIN();

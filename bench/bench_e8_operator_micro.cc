@@ -1,0 +1,167 @@
+// E8 — operator-level delta throughput of the Rete substrate: how many
+// delta entries per second each node kind absorbs. Grounds the macro
+// results (E2/E3) in the per-operator costs.
+
+#include <benchmark/benchmark.h>
+
+#include "rete/aggregate_node.h"
+#include "rete/distinct_node.h"
+#include "rete/filter_node.h"
+#include "rete/join_node.h"
+#include "rete/project_node.h"
+#include "support/rng.h"
+
+namespace pgivm {
+namespace {
+
+class NullSink : public ReteNode {
+ public:
+  NullSink() : ReteNode(Schema{}) {}
+  void OnDelta(int port, const Delta& delta) override {
+    (void)port;
+    consumed += static_cast<int64_t>(delta.size());
+  }
+  std::string DebugString() const override { return "NullSink"; }
+  int64_t consumed = 0;
+};
+
+Schema TwoCols(const char* a, const char* b) {
+  return Schema({{a, Attribute::Kind::kValue},
+                 {b, Attribute::Kind::kValue}});
+}
+
+Delta MakeBatch(Rng& rng, int64_t n, int64_t key_range) {
+  Delta delta;
+  delta.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    delta.push_back(
+        {Tuple({Value::Int(static_cast<int64_t>(rng.NextBelow(
+              static_cast<uint64_t>(key_range)))),
+                Value::Int(i)}),
+         1});
+  }
+  return delta;
+}
+
+BoundExpression MustBind(const ExprPtr& expr, const Schema& schema) {
+  Result<BoundExpression> bound = BoundExpression::Bind(expr, schema);
+  return std::move(bound).value();
+}
+
+void BM_E8_Filter(benchmark::State& state) {
+  Schema schema = TwoCols("k", "v");
+  FilterNode node(schema,
+                  MustBind(MakeBinary(BinaryOp::kGt, MakeVariable("v"),
+                                      MakeLiteral(Value::Int(50))),
+                           schema));
+  NullSink sink;
+  node.AddOutput(&sink, 0);
+  Rng rng(1);
+  Delta batch = MakeBatch(rng, 100, 1000);
+  for (auto _ : state) {
+    node.OnDelta(0, batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_E8_Filter)->Iterations(2000);
+
+void BM_E8_Project(benchmark::State& state) {
+  Schema in = TwoCols("k", "v");
+  std::vector<BoundExpression> columns;
+  columns.push_back(MustBind(
+      MakeBinary(BinaryOp::kAdd, MakeVariable("k"), MakeVariable("v")), in));
+  ProjectNode node(Schema({{"s", Attribute::Kind::kValue}}),
+                   std::move(columns));
+  NullSink sink;
+  node.AddOutput(&sink, 0);
+  Rng rng(2);
+  Delta batch = MakeBatch(rng, 100, 1000);
+  for (auto _ : state) {
+    node.OnDelta(0, batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_E8_Project)->Iterations(2000);
+
+void BM_E8_JoinProbe(benchmark::State& state) {
+  // Right memory pre-loaded with `fanout` rows per key; measure left-side
+  // probe throughput (insert + matching retraction keeps state stable).
+  int64_t fanout = state.range(0);
+  Schema left = TwoCols("k", "a");
+  Schema right = TwoCols("k", "b");
+  Schema out({{"k", Attribute::Kind::kValue},
+              {"a", Attribute::Kind::kValue},
+              {"b", Attribute::Kind::kValue}});
+  JoinNode node(out, left, right);
+  NullSink sink;
+  node.AddOutput(&sink, 0);
+
+  Delta preload;
+  for (int64_t k = 0; k < 100; ++k) {
+    for (int64_t f = 0; f < fanout; ++f) {
+      preload.push_back({Tuple({Value::Int(k), Value::Int(f)}), 1});
+    }
+  }
+  node.OnDelta(1, preload);
+
+  Rng rng(3);
+  Delta add = MakeBatch(rng, 100, 100);
+  Delta remove = add;
+  for (DeltaEntry& entry : remove) entry.multiplicity = -1;
+  for (auto _ : state) {
+    node.OnDelta(0, add);
+    node.OnDelta(0, remove);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  state.counters["fanout"] = static_cast<double>(fanout);
+}
+BENCHMARK(BM_E8_JoinProbe)->Arg(1)->Arg(4)->Arg(16)->Iterations(500);
+
+void BM_E8_Distinct(benchmark::State& state) {
+  DistinctNode node(TwoCols("k", "v"));
+  NullSink sink;
+  node.AddOutput(&sink, 0);
+  Rng rng(4);
+  Delta add = MakeBatch(rng, 100, 20);
+  Delta remove = add;
+  for (DeltaEntry& entry : remove) entry.multiplicity = -1;
+  for (auto _ : state) {
+    node.OnDelta(0, add);
+    node.OnDelta(0, remove);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_E8_Distinct)->Iterations(1000);
+
+void BM_E8_Aggregate(benchmark::State& state) {
+  Schema in = TwoCols("k", "v");
+  Schema out({{"k", Attribute::Kind::kValue},
+              {"c", Attribute::Kind::kValue},
+              {"s", Attribute::Kind::kValue}});
+  std::vector<BoundExpression> keys;
+  keys.push_back(MustBind(MakeVariable("k"), in));
+  std::vector<AggregateSpec> specs;
+  specs.push_back(AggregateSpec::Make(MakeCountStar(), in, nullptr).value());
+  specs.push_back(
+      AggregateSpec::Make(MakeFunctionCall("sum", {MakeVariable("v")}), in,
+                          nullptr)
+          .value());
+  AggregateNode node(out, std::move(keys), std::move(specs));
+  NullSink sink;
+  node.AddOutput(&sink, 0);
+  Rng rng(5);
+  Delta add = MakeBatch(rng, 100, 10);
+  Delta remove = add;
+  for (DeltaEntry& entry : remove) entry.multiplicity = -1;
+  for (auto _ : state) {
+    node.OnDelta(0, add);
+    node.OnDelta(0, remove);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_E8_Aggregate)->Iterations(1000);
+
+}  // namespace
+}  // namespace pgivm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Social network feed — SNB-flavoured standing queries over a living
+// social graph: thread views with transitive replies (the paper's running
+// example generalized), per-language statistics via aggregation, and
+// profile-language fan-out via UNWIND (fine-grained nested updates).
+
+#include <iostream>
+
+#include "engine/query_engine.h"
+#include "workload/social_network.h"
+
+int main() {
+  using namespace pgivm;
+
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 40;
+  config.posts_per_person = 2;
+  config.comments_per_post = 5;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+
+  // The running example as a living feed: same-language reply threads.
+  auto threads = engine
+                     .Register(
+                         "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) "
+                         "WHERE p.lang = c.lang RETURN p, t")
+                     .value();
+
+  // Language league table over all messages.
+  auto stats = engine
+                   .Register(
+                       "MATCH (m:Comm) "
+                       "RETURN m.lang AS lang, count(*) AS comments")
+                   .value();
+
+  // Who can read which post: speakers of the post's language, via the
+  // collection property `speaks` (FGN territory).
+  auto audience = engine
+                      .Register(
+                          "MATCH (p:Post), (u:Person) "
+                          "UNWIND u.speaks AS lang "
+                          "WITH p, u, lang WHERE lang = p.lang "
+                          "RETURN p, count(*) AS readers")
+                      .value();
+
+  std::cout << "Initial state: " << threads->size()
+            << " same-language thread paths, " << stats->size()
+            << " comment languages, audience rows: " << audience->size()
+            << "\n";
+
+  std::cout << "\nComment language distribution:\n";
+  for (const Tuple& row : stats->Snapshot()) {
+    std::cout << "  " << row.at(0).ToString() << ": "
+              << row.at(1).ToString() << "\n";
+  }
+
+  // Live updates: 200 social actions.
+  for (int i = 0; i < 200; ++i) generator.ApplyRandomUpdate(&graph);
+  std::cout << "\nAfter 200 stream operations: " << threads->size()
+            << " thread paths; network memory "
+            << threads->ApproxMemoryBytes() / 1024 << " KiB\n";
+
+  // A user learns a new language: only the delta propagates through the
+  // UNWIND (fine-grained nested maintenance).
+  VertexId reader = generator.persons().front();
+  (void)graph.ListAppend(reader, "speaks", Value::String("en"));
+  std::cout << "After person " << reader
+            << " learns 'en': audience rows = " << audience->size() << "\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef PGIVM_ALGEBRA_COMPILER_H_
+#define PGIVM_ALGEBRA_COMPILER_H_
+
+#include "algebra/operator.h"
+#include "cypher/ast.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// Lowers a parsed query to a GRA operator tree (step 1 of the paper's
+/// workflow, following the Marton–Szárnyas–Varró mapping):
+///
+///  * every pattern node variable becomes a get-vertices leaf (labels act as
+///    the leaf's filter) joined into the plan, so the property-pushdown pass
+///    always finds a defining leaf;
+///  * every relationship becomes an expand-out (transitive for `*`), later
+///    rewritten to (transitive) joins by the NRA passes;
+///  * inline property predicates, WHERE, relationship-uniqueness constraints
+///    and chain-internal variable rebindings become selections;
+///  * named paths become projections over the internal `#path(...)`
+///    constructor, whose arguments alternate vertex/edge variables and
+///    variable-length path sections;
+///  * WITH/RETURN become projection/aggregation (+ distinct), UNWIND becomes
+///    the unnest operator, OPTIONAL MATCH a left outer join.
+///
+/// The resulting tree has schemas computed and validated.
+Result<OpPtr> CompileToGra(const Query& query);
+
+}  // namespace pgivm
+
+#endif  // PGIVM_ALGEBRA_COMPILER_H_

@@ -1,0 +1,51 @@
+#include <cassert>
+
+#include "algebra/passes/pass_manager.h"
+
+namespace pgivm {
+
+namespace {
+
+OpPtr Rewrite(const OpPtr& op) {
+  std::vector<OpPtr> children;
+  children.reserve(op->children.size());
+  for (const OpPtr& child : op->children) children.push_back(Rewrite(child));
+
+  if (op->kind != OpKind::kExpand) {
+    auto copy = std::make_shared<LogicalOp>(*op);
+    copy->children = std::move(children);
+    return copy;
+  }
+
+  // ↑(src)-[e:T]->(dst)(input)  ≡  input ⋈ ⇑(src)-[e:T]->(dst).
+  // The kIn orientation is normalized away here: get-edges always emits the
+  // graph-direction (source, edge, target) triple, so an incoming pattern
+  // edge just swaps which pattern variable names which column.
+  OpPtr edges = MakeOp(OpKind::kGetEdges);
+  edges->edge_var = op->edge_var;
+  edges->edge_types = op->edge_types;
+  switch (op->direction) {
+    case EdgeDirection::kOut:
+      edges->src_var = op->src_var;
+      edges->dst_var = op->dst_var;
+      edges->direction = EdgeDirection::kOut;
+      break;
+    case EdgeDirection::kIn:
+      edges->src_var = op->dst_var;
+      edges->dst_var = op->src_var;
+      edges->direction = EdgeDirection::kOut;
+      break;
+    case EdgeDirection::kBoth:
+      edges->src_var = op->src_var;
+      edges->dst_var = op->dst_var;
+      edges->direction = EdgeDirection::kBoth;
+      break;
+  }
+  return MakeOp(OpKind::kJoin, {children[0], std::move(edges)});
+}
+
+}  // namespace
+
+OpPtr RewriteExpandToJoin(const OpPtr& root) { return Rewrite(root); }
+
+}  // namespace pgivm

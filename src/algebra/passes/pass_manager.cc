@@ -1,0 +1,51 @@
+#include "algebra/passes/pass_manager.h"
+
+namespace pgivm {
+
+namespace {
+
+Status CheckNoExpand(const OpPtr& op) {
+  if (op->kind == OpKind::kExpand) {
+    return Status::Internal("Expand survived the expand-to-join pass");
+  }
+  for (const OpPtr& child : op->children) {
+    PGIVM_RETURN_IF_ERROR(CheckNoExpand(child));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<OpPtr> LowerToFra(const OpPtr& gra, const PlanOptions& options) {
+  // Step 2 (paper): GRA -> NRA. Expands become joins against get-edges;
+  // transitive expands are already the fused transitive-join operator.
+  OpPtr plan = RewriteExpandToJoin(gra);
+  PGIVM_RETURN_IF_ERROR(CheckNoExpand(plan));
+  PGIVM_RETURN_IF_ERROR(ComputeSchemas(plan));
+
+  // Step 3 (paper): NRA -> FRA. Minimal schema inference pushes property
+  // accesses into the leaves (or whole maps, in the ablation mode).
+  if (options.property_pushdown || options.naive_property_maps) {
+    PGIVM_RETURN_IF_ERROR(
+        PushDownProperties(plan, options.naive_property_maps));
+  }
+
+  if (options.filter_pushdown) {
+    plan = PushDownFilters(plan);
+    PGIVM_RETURN_IF_ERROR(ComputeSchemas(plan));
+  }
+
+  if (options.column_pruning) {
+    PruneUnusedExtracts(plan);
+    PGIVM_RETURN_IF_ERROR(ComputeSchemas(plan));
+  }
+
+  if (options.narrow_unnest_outputs) {
+    NarrowUnnestOutputs(plan);
+    PGIVM_RETURN_IF_ERROR(ComputeSchemas(plan));
+  }
+
+  return plan;
+}
+
+}  // namespace pgivm

@@ -1,0 +1,76 @@
+#ifndef PGIVM_ALGEBRA_PASSES_PASS_MANAGER_H_
+#define PGIVM_ALGEBRA_PASSES_PASS_MANAGER_H_
+
+#include "algebra/operator.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// Plan lowering configuration. The defaults produce the paper's FRA plan;
+/// the flags exist for the ablation experiments (E6).
+struct PlanOptions {
+  /// Infer the minimal property schema and push accesses into ◯/⇑ leaves
+  /// (paper step 3). When false together with naive_property_maps, plans
+  /// that read graph properties are rejected by the Rete builder.
+  bool property_pushdown = true;
+
+  /// Ablation mode: instead of per-property columns, leaves materialize the
+  /// *entire* property map of each element and accesses become map lookups —
+  /// what an engine without schema inference must do.
+  bool naive_property_maps = false;
+
+  /// Push selection conjuncts below joins toward the leaves.
+  bool filter_pushdown = true;
+
+  /// Drop extracted columns that no operator references.
+  bool column_pruning = true;
+
+  /// Drop columns from unnest *outputs* when they only feed the collection
+  /// expression — the structural prerequisite of fine-grained unnest
+  /// maintenance (FGN).
+  bool narrow_unnest_outputs = true;
+};
+
+/// Runs the full GRA → NRA → FRA lowering pipeline (paper steps 2 and 3) on
+/// a schema-computed GRA tree and returns the flat, incrementally
+/// instantiable plan (schemas recomputed and validated).
+Result<OpPtr> LowerToFra(const OpPtr& gra, const PlanOptions& options = {});
+
+// Individual passes, exposed for unit tests and the ablation benchmarks.
+
+/// Paper step 2: rewrites every Expand into Join(input, GetEdges). The
+/// transitive expand is already represented as kPathJoin (the get-edges
+/// operand is fused into the node); this pass asserts no kExpand remains.
+OpPtr RewriteExpandToJoin(const OpPtr& root);
+
+/// Paper step 3: minimal schema inference. Rewrites property/labels/type/
+/// properties accesses on pattern-bound graph elements into columns
+/// extracted at the defining ◯/⇑ leaf, inserting pass-through projection
+/// items (safe: extracts are functionally dependent on their element) and,
+/// for elements that only exist at runtime (e.g. vertices unnested from a
+/// path), joining in a fresh get-vertices/get-edges leaf keyed by the
+/// element column. With `naive` set, leaves extract whole property maps
+/// instead (the ablation plan). Requires schemas computed; leaves them
+/// recomputed.
+Status PushDownProperties(OpPtr& root, bool naive);
+
+/// Pushes selection conjuncts below joins/distinct/unnest where their
+/// variables allow. Requires schemas computed; returns a rewritten tree
+/// (schemas stale).
+OpPtr PushDownFilters(const OpPtr& root);
+
+/// Removes extracted columns never referenced above their leaf. Safe
+/// globally because a dropped name is dropped from every leaf at once and
+/// extracts are functionally dependent columns. Mutates the tree in place.
+void PruneUnusedExtracts(const OpPtr& root);
+
+/// Marks unnest operators to drop the columns that only their collection
+/// expression reads, when doing so is safe: the column is not a join key
+/// anywhere and no DISTINCT/aggregate sits above the unnest (dropping a
+/// column there could merge groups). Requires schemas computed; mutates in
+/// place (schemas stale afterwards).
+void NarrowUnnestOutputs(const OpPtr& root);
+
+}  // namespace pgivm
+
+#endif  // PGIVM_ALGEBRA_PASSES_PASS_MANAGER_H_

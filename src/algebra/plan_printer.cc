@@ -1,0 +1,27 @@
+#include "algebra/plan_printer.h"
+
+#include <sstream>
+
+namespace pgivm {
+
+namespace {
+
+void PrintRec(const OpPtr& op, int depth, std::ostringstream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << op->DebugString();
+  if (!op->schema.empty() || op->kind == OpKind::kUnit) {
+    os << "  " << op->schema.ToString();
+  }
+  os << "\n";
+  for (const OpPtr& child : op->children) PrintRec(child, depth + 1, os);
+}
+
+}  // namespace
+
+std::string PrintPlan(const OpPtr& root) {
+  std::ostringstream os;
+  PrintRec(root, 0, os);
+  return os.str();
+}
+
+}  // namespace pgivm

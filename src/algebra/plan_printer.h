@@ -1,0 +1,20 @@
+#ifndef PGIVM_ALGEBRA_PLAN_PRINTER_H_
+#define PGIVM_ALGEBRA_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "algebra/operator.h"
+
+namespace pgivm {
+
+/// Renders the operator tree as an indented multi-line string, one operator
+/// per line with its output schema, children indented below:
+///
+///   Produce p AS p, t AS t (p:V, t:P)
+///     Selection (#c.lang = #p.lang) (...)
+///       ...
+std::string PrintPlan(const OpPtr& root);
+
+}  // namespace pgivm
+
+#endif  // PGIVM_ALGEBRA_PLAN_PRINTER_H_

@@ -1,0 +1,47 @@
+#include "algebra/schema.h"
+
+#include <sstream>
+
+namespace pgivm {
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> Schema::CommonNames(const Schema& a,
+                                             const Schema& b) {
+  std::vector<std::string> out;
+  for (const Attribute& attr : a.attrs_) {
+    if (b.Contains(attr.name)) out.push_back(attr.name);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attrs_[i].name;
+    switch (attrs_[i].kind) {
+      case Attribute::Kind::kVertex:
+        os << ":V";
+        break;
+      case Attribute::Kind::kEdge:
+        os << ":E";
+        break;
+      case Attribute::Kind::kPath:
+        os << ":P";
+        break;
+      case Attribute::Kind::kValue:
+        break;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pgivm

@@ -1,0 +1,64 @@
+#ifndef PGIVM_ALGEBRA_SCHEMA_H_
+#define PGIVM_ALGEBRA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgivm {
+
+/// One output column of a (graph) relation. Columns are identified by name:
+/// query variables keep their surface name (`p`, `t`), extracted property
+/// columns use generated names (`#p.lang`).
+struct Attribute {
+  /// What the column holds — informational, used for plan printing and a few
+  /// sanity checks; runtime values are dynamically typed anyway.
+  enum class Kind { kVertex, kEdge, kPath, kValue };
+
+  std::string name;
+  Kind kind = Kind::kValue;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.kind == b.kind;
+  }
+};
+
+/// Ordered list of named attributes — the schema of a graph relation
+/// (`sch(r)` in the paper). Names are unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Appends an attribute. Must not duplicate an existing name (asserted via
+  /// the Status-returning builder in operator.cc; this is the unchecked
+  /// variant for trusted construction).
+  void Add(Attribute attr) { attrs_.push_back(std::move(attr)); }
+
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+  const Attribute& at(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  /// Index of the attribute called `name`, or -1.
+  int IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const { return IndexOf(name) >= 0; }
+
+  /// Names shared between `a` and `b`, in `a`'s order (natural-join keys).
+  static std::vector<std::string> CommonNames(const Schema& a,
+                                              const Schema& b);
+
+  /// Renders "(p:Vertex, t:Path, #p.lang)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_ALGEBRA_SCHEMA_H_

@@ -1,0 +1,494 @@
+#include "baseline/baseline_evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "rete/expression_eval.h"
+#include "rete/join_node.h"
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+Value LabelsValue(const std::vector<std::string>& labels) {
+  ValueList out;
+  out.reserve(labels.size());
+  for (const std::string& label : labels) out.push_back(Value::String(label));
+  return Value::List(std::move(out));
+}
+
+}  // namespace
+
+std::vector<Tuple> BaselineEvaluator::SortedRows(const Bag& bag) {
+  std::vector<Tuple> rows;
+  for (const auto& [tuple, count] : bag.counts()) {
+    for (int64_t i = 0; i < count; ++i) rows.push_back(tuple);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    return Tuple::Compare(a, b) < 0;
+  });
+  return rows;
+}
+
+Result<Bag> BaselineEvaluator::Evaluate(const OpPtr& plan) const {
+  return Eval(plan);
+}
+
+Value BaselineEvaluator::VertexExtract(const PropertyExtract& extract,
+                                       VertexId v) const {
+  switch (extract.what) {
+    case PropertyExtract::What::kProperty:
+      return graph_->GetVertexProperty(v, extract.key);
+    case PropertyExtract::What::kLabels:
+      return LabelsValue(graph_->VertexLabels(v));
+    case PropertyExtract::What::kPropertyMap:
+      return Value::Map(graph_->VertexProperties(v));
+    case PropertyExtract::What::kType:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Value BaselineEvaluator::EdgeExtract(const PropertyExtract& extract,
+                                     VertexId a, VertexId b, EdgeId e) const {
+  // element_var naming matches the leaf's src/edge/dst columns; the caller
+  // resolves which endpoint the extract refers to.
+  (void)a;
+  (void)b;
+  switch (extract.what) {
+    case PropertyExtract::What::kProperty:
+      return graph_->GetEdgeProperty(e, extract.key);
+    case PropertyExtract::What::kType:
+      return Value::String(graph_->EdgeType(e));
+    case PropertyExtract::What::kPropertyMap:
+      return Value::Map(graph_->EdgeProperties(e));
+    case PropertyExtract::What::kLabels:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<Bag> BaselineEvaluator::EvalGetVertices(const OpPtr& op) const {
+  Bag out;
+  std::vector<std::string> required = op->labels;
+  std::sort(required.begin(), required.end());
+  auto consider = [&](VertexId v) {
+    const std::vector<std::string>& labels = graph_->VertexLabels(v);
+    if (!std::includes(labels.begin(), labels.end(), required.begin(),
+                       required.end())) {
+      return;
+    }
+    std::vector<Value> values;
+    values.reserve(1 + op->extracts.size());
+    values.push_back(Value::Vertex(v));
+    for (const PropertyExtract& extract : op->extracts) {
+      values.push_back(VertexExtract(extract, v));
+    }
+    out.Apply(Tuple(std::move(values)), 1);
+  };
+  if (!required.empty()) {
+    for (VertexId v : graph_->VerticesWithLabel(required[0])) consider(v);
+  } else {
+    graph_->ForEachVertex(consider);
+  }
+  return out;
+}
+
+Result<Bag> BaselineEvaluator::EvalGetEdges(const OpPtr& op) const {
+  Bag out;
+  auto build = [&](VertexId a, VertexId b, EdgeId e) {
+    std::vector<Value> values;
+    values.reserve(3 + op->extracts.size());
+    values.push_back(Value::Vertex(a));
+    values.push_back(Value::Edge(e));
+    values.push_back(Value::Vertex(b));
+    for (const PropertyExtract& extract : op->extracts) {
+      if (extract.element_var == op->edge_var) {
+        values.push_back(EdgeExtract(extract, a, b, e));
+      } else if (extract.element_var == op->src_var) {
+        values.push_back(VertexExtract(extract, a));
+      } else {
+        values.push_back(VertexExtract(extract, b));
+      }
+    }
+    out.Apply(Tuple(std::move(values)), 1);
+  };
+  auto consider = [&](EdgeId e) {
+    const std::string& type = graph_->EdgeType(e);
+    if (!op->edge_types.empty() &&
+        std::find(op->edge_types.begin(), op->edge_types.end(), type) ==
+            op->edge_types.end()) {
+      return;
+    }
+    VertexId src = graph_->EdgeSource(e);
+    VertexId dst = graph_->EdgeTarget(e);
+    build(src, dst, e);
+    if (op->direction == EdgeDirection::kBoth && src != dst) {
+      build(dst, src, e);
+    }
+  };
+  if (!op->edge_types.empty()) {
+    std::vector<EdgeId> candidates;
+    for (const std::string& type : op->edge_types) {
+      std::vector<EdgeId> of_type = graph_->EdgesWithType(type);
+      candidates.insert(candidates.end(), of_type.begin(), of_type.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (EdgeId e : candidates) consider(e);
+  } else {
+    graph_->ForEachEdge(consider);
+  }
+  return out;
+}
+
+Result<Bag> BaselineEvaluator::EvalPathJoin(const OpPtr& op) const {
+  PGIVM_ASSIGN_OR_RETURN(Bag input, Eval(op->children[0]));
+  int src_index = op->children[0]->schema.IndexOf(op->src_var);
+  if (src_index < 0) {
+    return Status::Internal("path join source column missing");
+  }
+  bool reversed = op->direction == EdgeDirection::kIn;
+  bool emit_path = !op->path_var.empty();
+  int64_t limit = op->max_hops < 0 ? (int64_t{1} << 40) : op->max_hops;
+
+  auto type_ok = [&](EdgeId e) {
+    if (op->edge_types.empty()) return true;
+    const std::string& type = graph_->EdgeType(e);
+    return std::find(op->edge_types.begin(), op->edge_types.end(), type) !=
+           op->edge_types.end();
+  };
+
+  Bag out;
+  for (const auto& [tuple, count] : input.counts()) {
+    const Value& src_value = tuple.at(static_cast<size_t>(src_index));
+    if (!src_value.is_vertex()) continue;
+    VertexId source = src_value.AsVertex();
+    if (!graph_->HasVertex(source)) continue;
+
+    // DFS over trails in pattern direction, collecting matches in
+    // [min_hops, max_hops].
+    std::vector<VertexId> vertices{source};
+    std::vector<EdgeId> edges;
+    std::unordered_set<EdgeId> used;
+    auto emit = [&]() {
+      int64_t length = static_cast<int64_t>(edges.size());
+      if (length < op->min_hops) return;
+      Tuple result = tuple.Append(Value::Vertex(vertices.back()));
+      if (emit_path) {
+        result = result.Append(Value::MakePath(Path(vertices, edges)));
+      }
+      out.Apply(result, count);
+    };
+    std::function<void(VertexId, int64_t)> dfs = [&](VertexId at,
+                                                     int64_t remaining) {
+      emit();
+      if (remaining <= 0) return;
+      const std::vector<EdgeId>& incident =
+          reversed ? graph_->InEdges(at) : graph_->OutEdges(at);
+      for (EdgeId e : incident) {
+        if (!type_ok(e) || !used.insert(e).second) continue;
+        VertexId next =
+            reversed ? graph_->EdgeSource(e) : graph_->EdgeTarget(e);
+        vertices.push_back(next);
+        edges.push_back(e);
+        dfs(next, remaining - 1);
+        vertices.pop_back();
+        edges.pop_back();
+        used.erase(e);
+      }
+    };
+    dfs(source, limit);
+  }
+  return out;
+}
+
+Result<Bag> BaselineEvaluator::EvalJoinLike(const OpPtr& op) const {
+  PGIVM_ASSIGN_OR_RETURN(Bag left, Eval(op->children[0]));
+  PGIVM_ASSIGN_OR_RETURN(Bag right, Eval(op->children[1]));
+  const Schema& lschema = op->children[0]->schema;
+  const Schema& rschema = op->children[1]->schema;
+  JoinLayout layout = JoinLayout::Make(lschema, rschema);
+
+  std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHash>
+      right_index;
+  for (const auto& [tuple, count] : right.counts()) {
+    right_index[tuple.Project(layout.right_key)].emplace_back(tuple, count);
+  }
+
+  Bag out;
+  for (const auto& [ltuple, lcount] : left.counts()) {
+    Tuple key = ltuple.Project(layout.left_key);
+    auto it = right_index.find(key);
+    bool matched = it != right_index.end() && !it->second.empty();
+    if (op->kind == OpKind::kAntiJoin) {
+      if (!matched) out.Apply(ltuple, lcount);
+      continue;
+    }
+    if (op->kind == OpKind::kSemiJoin) {
+      if (matched) out.Apply(ltuple, lcount);
+      continue;
+    }
+    if (matched) {
+      for (const auto& [rtuple, rcount] : it->second) {
+        std::vector<Value> values = ltuple.values();
+        for (int i : layout.right_rest) {
+          values.push_back(rtuple.at(static_cast<size_t>(i)));
+        }
+        out.Apply(Tuple(std::move(values)), lcount * rcount);
+      }
+    } else if (op->kind == OpKind::kLeftOuterJoin) {
+      std::vector<Value> values = ltuple.values();
+      for (size_t i = 0; i < layout.right_rest.size(); ++i) {
+        values.push_back(Value::Null());
+      }
+      out.Apply(Tuple(std::move(values)), lcount);
+    }
+  }
+  return out;
+}
+
+Result<Bag> BaselineEvaluator::EvalAggregate(const OpPtr& op) const {
+  PGIVM_ASSIGN_OR_RETURN(Bag input, Eval(op->children[0]));
+  const Schema& in_schema = op->children[0]->schema;
+
+  std::vector<BoundExpression> keys;
+  for (const auto& [name, expr] : op->group_by) {
+    PGIVM_ASSIGN_OR_RETURN(BoundExpression bound,
+                           BoundExpression::Bind(expr, in_schema, graph_));
+    keys.push_back(std::move(bound));
+  }
+  struct AggDef {
+    std::string fn;
+    bool star;
+    bool distinct;
+    std::optional<BoundExpression> arg;
+  };
+  std::vector<AggDef> defs;
+  for (const auto& [name, expr] : op->aggregates) {
+    AggDef def;
+    def.fn = expr->name;
+    def.star = expr->star;
+    def.distinct = expr->distinct;
+    if (!expr->star) {
+      if (expr->children.size() != 1) {
+        return Status::InvalidArgument(
+            StrCat("aggregate ", expr->name, "() expects one argument"));
+      }
+      PGIVM_ASSIGN_OR_RETURN(
+          BoundExpression bound,
+          BoundExpression::Bind(expr->children[0], in_schema, graph_));
+      def.arg = std::move(bound);
+    }
+    defs.push_back(std::move(def));
+  }
+
+  struct GroupData {
+    int64_t rows = 0;
+    std::vector<std::map<Value, int64_t>> values;  // per aggregate
+  };
+  std::map<std::vector<Value>, GroupData> groups;
+  for (const auto& [tuple, count] : input.counts()) {
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    for (const BoundExpression& k : keys) key.push_back(k.Eval(tuple));
+    GroupData& group = groups[key];
+    if (group.values.empty()) group.values.resize(defs.size());
+    group.rows += count;
+    for (size_t i = 0; i < defs.size(); ++i) {
+      if (defs[i].star) continue;
+      Value v = defs[i].arg->Eval(tuple);
+      if (!v.is_null()) group.values[i][v] += count;
+    }
+  }
+  if (keys.empty() && groups.empty()) {
+    GroupData& group = groups[{}];
+    group.values.resize(defs.size());
+  }
+
+  Bag out;
+  for (const auto& [key, group] : groups) {
+    std::vector<Value> row = key;
+    for (size_t i = 0; i < defs.size(); ++i) {
+      const AggDef& def = defs[i];
+      const std::map<Value, int64_t>& values = group.values[i];
+      int64_t non_null = 0;
+      for (const auto& [v, c] : values) non_null += c;
+      if (def.fn == "count") {
+        if (def.star) {
+          row.push_back(Value::Int(group.rows));
+        } else if (def.distinct) {
+          row.push_back(Value::Int(static_cast<int64_t>(values.size())));
+        } else {
+          row.push_back(Value::Int(non_null));
+        }
+      } else if (def.fn == "sum" || def.fn == "avg") {
+        double dsum = 0.0;
+        int64_t isum = 0;
+        bool saw_double = false;
+        int64_t n = 0;
+        for (const auto& [v, c] : values) {
+          int64_t reps = def.distinct ? 1 : c;
+          n += reps;
+          if (v.is_int()) {
+            isum += reps * v.AsInt();
+          } else if (v.is_numeric()) {
+            dsum += static_cast<double>(reps) * v.AsDouble();
+            saw_double = true;
+          }
+        }
+        if (def.fn == "sum") {
+          row.push_back(saw_double
+                            ? Value::Double(dsum + static_cast<double>(isum))
+                            : Value::Int(isum));
+        } else {
+          row.push_back(n == 0 ? Value::Null()
+                               : Value::Double(
+                                     (dsum + static_cast<double>(isum)) /
+                                     static_cast<double>(n)));
+        }
+      } else if (def.fn == "min") {
+        row.push_back(values.empty() ? Value::Null() : values.begin()->first);
+      } else if (def.fn == "max") {
+        row.push_back(values.empty() ? Value::Null() : values.rbegin()->first);
+      } else if (def.fn == "collect") {
+        ValueList list;
+        for (const auto& [v, c] : values) {
+          int64_t reps = def.distinct ? 1 : c;
+          for (int64_t r = 0; r < reps; ++r) list.push_back(v);
+        }
+        row.push_back(Value::List(std::move(list)));
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown aggregate '", def.fn, "'"));
+      }
+    }
+    out.Apply(Tuple(std::move(row)), 1);
+  }
+  return out;
+}
+
+Result<Bag> BaselineEvaluator::EvalUnnest(const OpPtr& op) const {
+  PGIVM_ASSIGN_OR_RETURN(Bag input, Eval(op->children[0]));
+  const Schema& in_schema = op->children[0]->schema;
+  PGIVM_ASSIGN_OR_RETURN(
+      BoundExpression collection,
+      BoundExpression::Bind(op->unnest_expr, in_schema, graph_));
+  std::vector<int> kept;
+  for (size_t i = 0; i < in_schema.size(); ++i) {
+    const std::string& name = in_schema.at(i).name;
+    bool dropped = false;
+    for (const std::string& d : op->unnest_drop_columns) {
+      if (d == name) dropped = true;
+    }
+    if (!dropped) kept.push_back(static_cast<int>(i));
+  }
+
+  Bag out;
+  for (const auto& [tuple, count] : input.counts()) {
+    Value value = collection.Eval(tuple);
+    if (value.is_null()) continue;
+    Tuple base = tuple.Project(kept);
+    if (value.is_list()) {
+      for (const Value& element : value.AsList()) {
+        out.Apply(base.Append(element), count);
+      }
+    } else {
+      out.Apply(base.Append(value), count);
+    }
+  }
+  return out;
+}
+
+Result<Bag> BaselineEvaluator::Eval(const OpPtr& op) const {
+  switch (op->kind) {
+    case OpKind::kUnit: {
+      Bag out;
+      out.Apply(Tuple(), 1);
+      return out;
+    }
+    case OpKind::kGetVertices:
+      return EvalGetVertices(op);
+    case OpKind::kGetEdges:
+      return EvalGetEdges(op);
+    case OpKind::kPathJoin:
+      return EvalPathJoin(op);
+    case OpKind::kSelection: {
+      PGIVM_ASSIGN_OR_RETURN(Bag input, Eval(op->children[0]));
+      PGIVM_ASSIGN_OR_RETURN(
+          BoundExpression predicate,
+          BoundExpression::Bind(op->predicate, op->children[0]->schema,
+                                graph_));
+      Bag out;
+      for (const auto& [tuple, count] : input.counts()) {
+        if (IsTrue(predicate.Eval(tuple))) out.Apply(tuple, count);
+      }
+      return out;
+    }
+    case OpKind::kProjection:
+    case OpKind::kProduce: {
+      PGIVM_ASSIGN_OR_RETURN(Bag input, Eval(op->children[0]));
+      std::vector<BoundExpression> columns;
+      for (const auto& [name, expr] : op->projections) {
+        PGIVM_ASSIGN_OR_RETURN(
+            BoundExpression bound,
+            BoundExpression::Bind(expr, op->children[0]->schema, graph_));
+        columns.push_back(std::move(bound));
+      }
+      Bag out;
+      for (const auto& [tuple, count] : input.counts()) {
+        std::vector<Value> values;
+        values.reserve(columns.size());
+        for (const BoundExpression& column : columns) {
+          values.push_back(column.Eval(tuple));
+        }
+        out.Apply(Tuple(std::move(values)), count);
+      }
+      return out;
+    }
+    case OpKind::kJoin:
+    case OpKind::kLeftOuterJoin:
+    case OpKind::kAntiJoin:
+    case OpKind::kSemiJoin:
+      return EvalJoinLike(op);
+    case OpKind::kUnion: {
+      PGIVM_ASSIGN_OR_RETURN(Bag left, Eval(op->children[0]));
+      PGIVM_ASSIGN_OR_RETURN(Bag right, Eval(op->children[1]));
+      const Schema& lschema = op->children[0]->schema;
+      const Schema& rschema = op->children[1]->schema;
+      std::vector<int> reorder;
+      for (const Attribute& attr : lschema.attributes()) {
+        reorder.push_back(rschema.IndexOf(attr.name));
+      }
+      Bag out = std::move(left);
+      for (const auto& [tuple, count] : right.counts()) {
+        out.Apply(tuple.Project(reorder), count);
+      }
+      return out;
+    }
+    case OpKind::kDistinct: {
+      PGIVM_ASSIGN_OR_RETURN(Bag input, Eval(op->children[0]));
+      Bag out;
+      for (const auto& [tuple, count] : input.counts()) {
+        (void)count;
+        out.Apply(tuple, 1);
+      }
+      return out;
+    }
+    case OpKind::kAggregate:
+      return EvalAggregate(op);
+    case OpKind::kUnnest:
+      return EvalUnnest(op);
+    case OpKind::kExpand:
+      return Status::Internal(
+          "Expand reached the baseline evaluator; run LowerToFra first");
+  }
+  return Status::Internal(StrCat("unhandled operator ",
+                                 OpKindName(op->kind)));
+}
+
+}  // namespace pgivm

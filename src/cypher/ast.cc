@@ -1,0 +1,171 @@
+#include "cypher/ast.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+std::string PropsToString(
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  if (props.empty()) return "";
+  std::ostringstream os;
+  os << " {";
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << props[i].first << ": " << props[i].second->ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string NodePattern::ToString() const {
+  std::ostringstream os;
+  os << "(" << variable;
+  for (const std::string& label : labels) os << ":" << label;
+  os << PropsToString(properties) << ")";
+  return os.str();
+}
+
+std::string RelPattern::ToString() const {
+  std::ostringstream os;
+  os << (direction == Direction::kIn ? "<-" : "-") << "[" << variable;
+  for (size_t i = 0; i < types.size(); ++i) {
+    os << (i == 0 ? ":" : "|") << types[i];
+  }
+  if (variable_length) {
+    os << "*" << min_hops << "..";
+    if (max_hops >= 0) os << max_hops;
+  }
+  os << PropsToString(properties) << "]"
+     << (direction == Direction::kOut ? "->" : "-");
+  return os.str();
+}
+
+std::string PatternPart::ToString() const {
+  std::ostringstream os;
+  if (!path_variable.empty()) os << path_variable << " = ";
+  os << first.ToString();
+  for (const auto& [rel, node] : chain) {
+    os << rel.ToString() << node.ToString();
+  }
+  return os.str();
+}
+
+std::string MatchClause::ToString() const {
+  std::ostringstream os;
+  if (optional) os << "OPTIONAL ";
+  os << "MATCH ";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << parts[i].ToString();
+  }
+  if (where) os << " WHERE " << where->ToString();
+  return os.str();
+}
+
+std::string UnwindClause::ToString() const {
+  return StrCat("UNWIND ", expr->ToString(), " AS ", alias);
+}
+
+std::string ReturnItem::ToString() const {
+  return StrCat(expr->ToString(), " AS ", alias);
+}
+
+std::string WithClause::ToString() const {
+  std::ostringstream os;
+  os << "WITH ";
+  if (distinct) os << "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items[i].ToString();
+  }
+  if (where) os << " WHERE " << where->ToString();
+  return os.str();
+}
+
+std::string ReturnClause::ToString() const {
+  std::ostringstream os;
+  os << "RETURN ";
+  if (distinct) os << "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items[i].ToString();
+  }
+  if (skip > 0) os << " SKIP " << skip;
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+namespace {
+
+Status SubstituteExpr(ExprPtr& expr, const ValueMap& parameters) {
+  if (!expr) return Status::Ok();
+  PGIVM_ASSIGN_OR_RETURN(expr, SubstituteParameters(expr, parameters));
+  return Status::Ok();
+}
+
+Status SubstituteProps(std::vector<std::pair<std::string, ExprPtr>>& props,
+                       const ValueMap& parameters) {
+  for (auto& [key, expr] : props) {
+    PGIVM_RETURN_IF_ERROR(SubstituteExpr(expr, parameters));
+  }
+  return Status::Ok();
+}
+
+Status SubstitutePart(PatternPart& part, const ValueMap& parameters) {
+  PGIVM_RETURN_IF_ERROR(SubstituteProps(part.first.properties, parameters));
+  for (auto& [rel, node] : part.chain) {
+    PGIVM_RETURN_IF_ERROR(SubstituteProps(rel.properties, parameters));
+    PGIVM_RETURN_IF_ERROR(SubstituteProps(node.properties, parameters));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SubstituteQueryParameters(Query& query, const ValueMap& parameters) {
+  for (Clause& clause : query.clauses) {
+    if (auto* match = std::get_if<MatchClause>(&clause)) {
+      for (PatternPart& part : match->parts) {
+        PGIVM_RETURN_IF_ERROR(SubstitutePart(part, parameters));
+      }
+      for (PatternPart& part : match->pattern_predicates) {
+        PGIVM_RETURN_IF_ERROR(SubstitutePart(part, parameters));
+      }
+      PGIVM_RETURN_IF_ERROR(SubstituteExpr(match->where, parameters));
+    } else if (auto* unwind = std::get_if<UnwindClause>(&clause)) {
+      PGIVM_RETURN_IF_ERROR(SubstituteExpr(unwind->expr, parameters));
+    } else if (auto* with = std::get_if<WithClause>(&clause)) {
+      for (ReturnItem& item : with->items) {
+        PGIVM_RETURN_IF_ERROR(SubstituteExpr(item.expr, parameters));
+      }
+      PGIVM_RETURN_IF_ERROR(SubstituteExpr(with->where, parameters));
+    }
+  }
+  for (ReturnItem& item : query.return_clause.items) {
+    PGIVM_RETURN_IF_ERROR(SubstituteExpr(item.expr, parameters));
+  }
+  for (auto& [all, part] : query.unions) {
+    PGIVM_RETURN_IF_ERROR(SubstituteQueryParameters(*part, parameters));
+  }
+  return Status::Ok();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  for (const Clause& clause : clauses) {
+    std::visit([&os](const auto& c) { os << c.ToString() << " "; }, clause);
+  }
+  os << return_clause.ToString();
+  for (const auto& [all, query] : unions) {
+    os << (all ? " UNION ALL " : " UNION ") << query->ToString();
+  }
+  return os.str();
+}
+
+}  // namespace pgivm

@@ -1,0 +1,125 @@
+#ifndef PGIVM_CYPHER_AST_H_
+#define PGIVM_CYPHER_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cypher/expression.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// AST of the supported openCypher fragment. The parser produces this tree;
+/// the algebra compiler lowers it to GRA. Anonymous pattern elements receive
+/// generated variable names during parsing (`#anonN`), so every node/edge in
+/// the AST is named.
+
+/// `(v:Label1:Label2 {key: expr, ...})`
+struct NodePattern {
+  std::string variable;
+  std::vector<std::string> labels;
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+
+  std::string ToString() const;
+};
+
+/// `-[e:T1|T2 {..}]->`, `<-[e]-`, `-[*1..3]-` ...
+struct RelPattern {
+  enum class Direction { kOut, kIn, kBoth };
+
+  std::string variable;
+  std::vector<std::string> types;
+  Direction direction = Direction::kOut;
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+
+  /// Variable-length (`*`): min_hops..max_hops, max_hops == -1 meaning
+  /// unbounded. Fixed-length patterns have variable_length == false.
+  bool variable_length = false;
+  int64_t min_hops = 1;
+  int64_t max_hops = -1;
+
+  std::string ToString() const;
+};
+
+/// One linear pattern `path_var = (n0)-[r0]-(n1)-[r1]-...-(nk)`; path_var
+/// may be empty.
+struct PatternPart {
+  std::string path_variable;
+  NodePattern first;
+  std::vector<std::pair<RelPattern, NodePattern>> chain;
+
+  std::string ToString() const;
+};
+
+struct MatchClause {
+  bool optional = false;
+  std::vector<PatternPart> parts;
+  ExprPtr where;  // may be null
+
+  /// Patterns referenced by exists(...) predicates inside `where`; the
+  /// kPatternPredicate expression's `column` indexes this table. Compiled
+  /// into semi-joins (positive) / anti-joins (negated).
+  std::vector<PatternPart> pattern_predicates;
+
+  std::string ToString() const;
+};
+
+struct UnwindClause {
+  ExprPtr expr;
+  std::string alias;
+
+  std::string ToString() const;
+};
+
+struct ReturnItem {
+  ExprPtr expr;
+  std::string alias;  // never empty after parsing (auto-derived)
+
+  std::string ToString() const;
+};
+
+struct WithClause {
+  bool distinct = false;
+  std::vector<ReturnItem> items;
+  ExprPtr where;  // may be null
+
+  std::string ToString() const;
+};
+
+using Clause = std::variant<MatchClause, UnwindClause, WithClause>;
+
+struct ReturnClause {
+  bool distinct = false;
+  std::vector<ReturnItem> items;
+  /// SKIP/LIMIT apply to snapshots only (the ORD restriction): they are
+  /// recorded here and enforced by View::Snapshot, never inside the
+  /// maintained view.
+  int64_t skip = 0;
+  int64_t limit = -1;  // -1 = no limit
+
+  std::string ToString() const;
+};
+
+/// Replaces `$name` parameters everywhere in the query (WHERE clauses,
+/// return/with items, inline property maps, UNWIND expressions, union
+/// parts) with literals from `parameters`. Fails on unknown parameters.
+struct Query;
+Status SubstituteQueryParameters(Query& query, const ValueMap& parameters);
+
+struct Query {
+  std::vector<Clause> clauses;
+  ReturnClause return_clause;
+
+  /// UNION continuation queries: (is_union_all, query). All parts must
+  /// produce the same column names; plain UNION deduplicates the combined
+  /// result.
+  std::vector<std::pair<bool, std::shared_ptr<Query>>> unions;
+
+  std::string ToString() const;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CYPHER_AST_H_

@@ -1,0 +1,420 @@
+#include "cypher/expression.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+bool IsAggregateName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "min" ||
+         name == "max" || name == "avg" || name == "collect";
+}
+
+}  // namespace
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kXor:
+      return "XOR";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kIn:
+      return "IN";
+    case BinaryOp::kStartsWith:
+      return "STARTS WITH";
+    case BinaryOp::kEndsWith:
+      return "ENDS WITH";
+    case BinaryOp::kContains:
+      return "CONTAINS";
+    case BinaryOp::kSubscript:
+      return "[]";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "NOT";
+    case UnaryOp::kMinus:
+      return "-";
+    case UnaryOp::kIsNull:
+      return "IS NULL";
+    case UnaryOp::kIsNotNull:
+      return "IS NOT NULL";
+  }
+  return "?";
+}
+
+std::string Expression::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      os << literal.ToString();
+      break;
+    case ExprKind::kVariable:
+      os << name;
+      break;
+    case ExprKind::kColumnRef:
+      os << "$" << column << (name.empty() ? "" : StrCat("(", name, ")"));
+      break;
+    case ExprKind::kProperty:
+      os << children[0]->ToString() << "." << name;
+      break;
+    case ExprKind::kUnary:
+      if (unary_op == UnaryOp::kIsNull || unary_op == UnaryOp::kIsNotNull) {
+        os << children[0]->ToString() << " " << UnaryOpName(unary_op);
+      } else {
+        os << UnaryOpName(unary_op) << "(" << children[0]->ToString() << ")";
+      }
+      break;
+    case ExprKind::kBinary:
+      if (binary_op == BinaryOp::kSubscript) {
+        os << children[0]->ToString() << "[" << children[1]->ToString() << "]";
+      } else {
+        os << "(" << children[0]->ToString() << " " << BinaryOpName(binary_op)
+           << " " << children[1]->ToString() << ")";
+      }
+      break;
+    case ExprKind::kFunctionCall: {
+      os << name << "(";
+      if (star) os << "*";
+      if (distinct) os << "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kListLiteral: {
+      os << "[";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << "]";
+      break;
+    }
+    case ExprKind::kMapLiteral: {
+      os << "{";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << map_keys[i] << ": " << children[i]->ToString();
+      }
+      os << "}";
+      break;
+    }
+    case ExprKind::kCase: {
+      os << "CASE";
+      size_t i = 0;
+      if (star) os << " " << children[i++]->ToString();
+      size_t pairs_end = children.size() - (distinct ? 1 : 0);
+      while (i + 2 <= pairs_end) {
+        os << " WHEN " << children[i]->ToString() << " THEN "
+           << children[i + 1]->ToString();
+        i += 2;
+      }
+      if (distinct) os << " ELSE " << children.back()->ToString();
+      os << " END";
+      break;
+    }
+    case ExprKind::kPatternPredicate:
+      os << "exists(#pattern" << column << ")";
+      break;
+    case ExprKind::kParameter:
+      os << "$" << name;
+      break;
+    case ExprKind::kComprehension: {
+      const std::string& mode = map_keys[0];
+      os << (mode == "list" ? "[" : mode + "(");
+      os << name << " IN " << children[0]->ToString() << " WHERE "
+         << children[1]->ToString();
+      if (mode == "list") {
+        os << " | " << children[2]->ToString() << "]";
+      } else {
+        os << ")";
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+bool Expression::Equal(const Expression& a, const Expression& b) {
+  if (a.kind != b.kind || a.name != b.name || a.column != b.column ||
+      a.star != b.star || a.distinct != b.distinct ||
+      a.unary_op != b.unary_op || a.binary_op != b.binary_op ||
+      a.map_keys != b.map_keys || a.children.size() != b.children.size()) {
+    return false;
+  }
+  if (a.kind == ExprKind::kLiteral && a.literal != b.literal) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!Equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+size_t Expression::Hash() const {
+  size_t seed = static_cast<size_t>(kind) * 0x9e3779b9u;
+  HashCombine(seed, std::hash<std::string>{}(name));
+  HashCombine(seed, static_cast<size_t>(column) + 7);
+  HashCombine(seed, static_cast<size_t>(unary_op));
+  HashCombine(seed, static_cast<size_t>(binary_op));
+  HashCombine(seed, star ? 11u : 13u);
+  HashCombine(seed, distinct ? 17u : 19u);
+  if (kind == ExprKind::kLiteral) HashCombine(seed, literal.Hash());
+  for (const std::string& k : map_keys) {
+    HashCombine(seed, std::hash<std::string>{}(k));
+  }
+  for (const ExprPtr& c : children) HashCombine(seed, c->Hash());
+  return seed;
+}
+
+bool Expression::IsAggregateCall() const {
+  return kind == ExprKind::kFunctionCall && IsAggregateName(name);
+}
+
+bool Expression::ContainsAggregate() const {
+  if (IsAggregateCall()) return true;
+  for (const ExprPtr& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+void Expression::CollectVariables(std::vector<std::string>& out) const {
+  if (kind == ExprKind::kVariable) {
+    for (const std::string& existing : out) {
+      if (existing == name) return;
+    }
+    out.push_back(name);
+    return;
+  }
+  if (kind == ExprKind::kComprehension) {
+    // The local variable is bound here, not free: collect the body's
+    // variables separately and drop the local one.
+    children[0]->CollectVariables(out);
+    std::vector<std::string> inner;
+    children[1]->CollectVariables(inner);
+    children[2]->CollectVariables(inner);
+    for (const std::string& var : inner) {
+      if (var == name) continue;
+      bool seen = false;
+      for (const std::string& existing : out) {
+        if (existing == var) seen = true;
+      }
+      if (!seen) out.push_back(var);
+    }
+    return;
+  }
+  for (const ExprPtr& c : children) c->CollectVariables(out);
+}
+
+namespace {
+
+std::shared_ptr<Expression> NewExpr(ExprKind kind) {
+  auto e = std::make_shared<Expression>();
+  e->kind = kind;
+  return e;
+}
+
+}  // namespace
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = NewExpr(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeVariable(std::string name) {
+  auto e = NewExpr(ExprKind::kVariable);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeColumnRef(int column, std::string debug_name) {
+  auto e = NewExpr(ExprKind::kColumnRef);
+  e->column = column;
+  e->name = std::move(debug_name);
+  return e;
+}
+
+ExprPtr MakeProperty(ExprPtr subject, std::string key) {
+  auto e = NewExpr(ExprKind::kProperty);
+  e->children.push_back(std::move(subject));
+  e->name = std::move(key);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = NewExpr(ExprKind::kUnary);
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = NewExpr(ExprKind::kBinary);
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeFunctionCall(std::string lowercase_name, std::vector<ExprPtr> args,
+                         bool distinct) {
+  auto e = NewExpr(ExprKind::kFunctionCall);
+  e->name = std::move(lowercase_name);
+  e->children = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+ExprPtr MakeCountStar() {
+  auto e = NewExpr(ExprKind::kFunctionCall);
+  e->name = "count";
+  e->star = true;
+  return e;
+}
+
+ExprPtr MakeListLiteral(std::vector<ExprPtr> elements) {
+  auto e = NewExpr(ExprKind::kListLiteral);
+  e->children = std::move(elements);
+  return e;
+}
+
+ExprPtr MakeMapLiteral(std::vector<std::string> keys,
+                       std::vector<ExprPtr> values) {
+  auto e = NewExpr(ExprKind::kMapLiteral);
+  e->map_keys = std::move(keys);
+  e->children = std::move(values);
+  return e;
+}
+
+ExprPtr MakeCase(ExprPtr operand_or_null,
+                 std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
+                 ExprPtr else_or_null) {
+  auto e = NewExpr(ExprKind::kCase);
+  e->star = operand_or_null != nullptr;      // operand present
+  e->distinct = else_or_null != nullptr;     // else present
+  if (operand_or_null) e->children.push_back(std::move(operand_or_null));
+  for (auto& [when, then] : when_then) {
+    e->children.push_back(std::move(when));
+    e->children.push_back(std::move(then));
+  }
+  if (else_or_null) e->children.push_back(std::move(else_or_null));
+  return e;
+}
+
+ExprPtr MakePatternPredicate(int index) {
+  auto e = NewExpr(ExprKind::kPatternPredicate);
+  e->column = index;
+  return e;
+}
+
+ExprPtr MakeComprehension(std::string mode, std::string variable,
+                          ExprPtr list, ExprPtr where, ExprPtr map) {
+  auto e = NewExpr(ExprKind::kComprehension);
+  e->name = std::move(variable);
+  e->map_keys.push_back(std::move(mode));
+  if (!where) where = MakeLiteral(Value::Bool(true));
+  if (!map) map = MakeVariable(e->name);
+  e->children.push_back(std::move(list));
+  e->children.push_back(std::move(where));
+  e->children.push_back(std::move(map));
+  return e;
+}
+
+ExprPtr MakeParameter(std::string name) {
+  auto e = NewExpr(ExprKind::kParameter);
+  e->name = std::move(name);
+  return e;
+}
+
+Result<ExprPtr> SubstituteParameters(const ExprPtr& expr,
+                                     const ValueMap& parameters) {
+  Status failure = Status::Ok();
+  ExprPtr out = RewriteExpression(expr, [&](const ExprPtr& e) -> ExprPtr {
+    if (e->kind != ExprKind::kParameter) return e;
+    auto it = parameters.find(e->name);
+    if (it == parameters.end()) {
+      failure = Status::InvalidArgument(
+          StrCat("missing value for parameter $", e->name));
+      return e;
+    }
+    return MakeLiteral(it->second);
+  });
+  if (!failure.ok()) return failure;
+  return out;
+}
+
+ExprPtr RewriteExpression(const ExprPtr& expr,
+                          const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(expr->children.size());
+  for (const ExprPtr& c : expr->children) {
+    ExprPtr rewritten = RewriteExpression(c, fn);
+    changed |= rewritten != c;
+    new_children.push_back(std::move(rewritten));
+  }
+  ExprPtr current = expr;
+  if (changed) {
+    auto copy = std::make_shared<Expression>(*expr);
+    copy->children = std::move(new_children);
+    current = copy;
+  }
+  return fn(current);
+}
+
+ExprPtr ConjoinAll(std::vector<ExprPtr> terms) {
+  if (terms.empty()) return MakeLiteral(Value::Bool(true));
+  ExprPtr out = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    out = MakeBinary(BinaryOp::kAnd, out, terms[i]);
+  }
+  return out;
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred) {
+  std::vector<ExprPtr> out;
+  if (pred->kind == ExprKind::kBinary && pred->binary_op == BinaryOp::kAnd) {
+    for (const ExprPtr& side : pred->children) {
+      std::vector<ExprPtr> sub = SplitConjuncts(side);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  out.push_back(pred);
+  return out;
+}
+
+}  // namespace pgivm

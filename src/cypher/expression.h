@@ -1,0 +1,159 @@
+#ifndef PGIVM_CYPHER_EXPRESSION_H_
+#define PGIVM_CYPHER_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "value/value.h"
+
+namespace pgivm {
+
+class Expression;
+/// Expressions are immutable and shared between AST, logical plans and the
+/// runtime, so passes can rewrite trees without copying whole queries.
+using ExprPtr = std::shared_ptr<const Expression>;
+
+enum class ExprKind {
+  kLiteral,       // constant Value
+  kVariable,      // named query variable
+  kColumnRef,     // resolved reference to a tuple column (post-compilation)
+  kProperty,      // child[0].name — graph property or map entry access
+  kUnary,         // unary_op(child[0])
+  kBinary,        // binary_op(child[0], child[1])
+  kFunctionCall,  // name(children...), lowercased name
+  kListLiteral,   // [children...]
+  kMapLiteral,    // {map_keys[i]: children[i]}
+  kParameter,     // $name — substituted with a literal at registration
+  kCase,          // CASE [operand] WHEN..THEN.. [ELSE ..] END; see MakeCase
+  kComprehension,  // [x IN list WHERE p | e] and any/all/none/single;
+                   // name = local var, map_keys[0] = mode, children =
+                   // [list, where, map]
+  kPatternPredicate,  // exists(pattern) — `column` indexes the clause's
+                      // pattern_predicates table (compile-time only)
+};
+
+enum class UnaryOp { kNot, kMinus, kIsNull, kIsNotNull };
+
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kXor,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kIn,
+  kStartsWith,
+  kEndsWith,
+  kContains,
+  kSubscript,  // child[0][child[1]] — list index or map key
+};
+
+/// Immutable expression tree node of the Cypher fragment.
+///
+/// Construction goes through the factory functions below; fields not used by
+/// a given kind keep their defaults. Structural equality and hashing are
+/// provided for the property-pushdown pass (identical accesses share one
+/// extracted column).
+class Expression {
+ public:
+  ExprKind kind;
+  Value literal;                    // kLiteral
+  std::string name;                 // variable / property key / function name
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAnd;
+  std::vector<ExprPtr> children;
+  std::vector<std::string> map_keys;  // kMapLiteral
+  int column = -1;                    // kColumnRef
+  bool star = false;      // count(*)
+  bool distinct = false;  // aggregate with DISTINCT argument
+
+  /// Renders the expression as (approximate) Cypher text.
+  std::string ToString() const;
+
+  /// Deep structural equality / hash, consistent with each other.
+  static bool Equal(const Expression& a, const Expression& b);
+  size_t Hash() const;
+
+  /// True if this node is an aggregate function call (count/sum/min/max/
+  /// avg/collect); does not recurse.
+  bool IsAggregateCall() const;
+
+  /// True if any node in the tree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Collects the names of all free kVariable nodes into `out` (recursive,
+  /// preserves first-seen order, deduplicated).
+  void CollectVariables(std::vector<std::string>& out) const;
+};
+
+// ---- Factories ------------------------------------------------------------
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeVariable(std::string name);
+ExprPtr MakeColumnRef(int column, std::string debug_name);
+ExprPtr MakeProperty(ExprPtr subject, std::string key);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunctionCall(std::string lowercase_name,
+                         std::vector<ExprPtr> args, bool distinct = false);
+ExprPtr MakeCountStar();
+ExprPtr MakeListLiteral(std::vector<ExprPtr> elements);
+ExprPtr MakeMapLiteral(std::vector<std::string> keys,
+                       std::vector<ExprPtr> values);
+
+/// CASE expression. With `operand` (the "simple" form) each WHEN value is
+/// compared against it; without, each WHEN is a predicate. Children layout:
+/// [operand?] (when, then)* [else_value?] — `star` records whether the
+/// operand is present, `distinct` whether the ELSE is.
+ExprPtr MakeCase(ExprPtr operand_or_null,
+                 std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
+                 ExprPtr else_or_null);
+
+/// exists(pattern) placeholder referencing MatchClause::pattern_predicates
+/// slot `index`.
+ExprPtr MakePatternPredicate(int index);
+
+/// Query parameter `$name`.
+ExprPtr MakeParameter(std::string name);
+
+/// List comprehension / quantifier. `mode` is one of "list", "any",
+/// "all", "none", "single". `where` defaults to literal true, `map`
+/// (list mode only) to the local variable itself.
+ExprPtr MakeComprehension(std::string mode, std::string variable,
+                          ExprPtr list, ExprPtr where, ExprPtr map);
+
+/// Replaces every kParameter node with the literal from `parameters`;
+/// fails on parameters missing from the map.
+Result<ExprPtr> SubstituteParameters(const ExprPtr& expr,
+                                     const ValueMap& parameters);
+
+/// Rewrites `expr` bottom-up: `fn` is applied to every node after its
+/// children were rewritten and may return a replacement (or the node
+/// unchanged). Returns the rewritten tree.
+ExprPtr RewriteExpression(
+    const ExprPtr& expr,
+    const std::function<ExprPtr(const ExprPtr&)>& fn);
+
+/// Conjunction helper: AND-combines `terms` (empty -> literal true).
+ExprPtr ConjoinAll(std::vector<ExprPtr> terms);
+
+/// Splits a predicate into its top-level AND conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred);
+
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CYPHER_EXPRESSION_H_

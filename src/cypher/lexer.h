@@ -1,0 +1,22 @@
+#ifndef PGIVM_CYPHER_LEXER_H_
+#define PGIVM_CYPHER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cypher/token.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// Tokenizes an openCypher query string. Comments (`// ...` and `/* ... */`)
+/// and whitespace are skipped; keywords are recognized case-insensitively.
+///
+/// Returns the full token stream (terminated by a kEnd token) or a
+/// position-annotated error for malformed input.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CYPHER_LEXER_H_

@@ -1,0 +1,22 @@
+#ifndef PGIVM_CYPHER_PARSER_H_
+#define PGIVM_CYPHER_PARSER_H_
+
+#include <string_view>
+
+#include "cypher/ast.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// Parses `query` (one openCypher read query) into an AST.
+///
+/// Grammar (fragment): `[OPTIONAL] MATCH ... [WHERE ...]`, `UNWIND ... AS x`,
+/// `WITH [DISTINCT] items [WHERE ...]`, terminated by
+/// `RETURN [DISTINCT] items [SKIP n] [LIMIT n]`.
+/// Anonymous pattern elements get generated `#anonN` variables; return items
+/// without `AS` get their source text as alias (made unique if needed).
+Result<Query> ParseQuery(std::string_view query);
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CYPHER_PARSER_H_

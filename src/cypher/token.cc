@@ -1,0 +1,147 @@
+#include "cypher/token.h"
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kParameter:
+      return "parameter";
+    case TokenKind::kInteger:
+      return "integer literal";
+    case TokenKind::kFloat:
+      return "float literal";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kMatch:
+      return "MATCH";
+    case TokenKind::kOptional:
+      return "OPTIONAL";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kReturn:
+      return "RETURN";
+    case TokenKind::kWith:
+      return "WITH";
+    case TokenKind::kUnwind:
+      return "UNWIND";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kDistinct:
+      return "DISTINCT";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kXor:
+      return "XOR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kIn:
+      return "IN";
+    case TokenKind::kIs:
+      return "IS";
+    case TokenKind::kNull:
+      return "NULL";
+    case TokenKind::kTrue:
+      return "TRUE";
+    case TokenKind::kFalse:
+      return "FALSE";
+    case TokenKind::kStarts:
+      return "STARTS";
+    case TokenKind::kEnds:
+      return "ENDS";
+    case TokenKind::kContains:
+      return "CONTAINS";
+    case TokenKind::kSkip:
+      return "SKIP";
+    case TokenKind::kLimit:
+      return "LIMIT";
+    case TokenKind::kOrder:
+      return "ORDER";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kCase:
+      return "CASE";
+    case TokenKind::kWhen:
+      return "WHEN";
+    case TokenKind::kThen:
+      return "THEN";
+    case TokenKind::kElse:
+      return "ELSE";
+    case TokenKind::kEnd_:
+      return "END";
+    case TokenKind::kUnion:
+      return "UNION";
+    case TokenKind::kAll:
+      return "ALL";
+    case TokenKind::kExists:
+      return "EXISTS";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDotDot:
+      return "'..'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kArrowRight:
+      return "'->'";
+    case TokenKind::kArrowLeft:
+      return "'<-'";
+  }
+  return "unknown token";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kInteger ||
+      kind == TokenKind::kFloat || kind == TokenKind::kString) {
+    return StrCat(TokenKindName(kind), " '", text, "'");
+  }
+  return TokenKindName(kind);
+}
+
+}  // namespace pgivm

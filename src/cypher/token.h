@@ -1,0 +1,97 @@
+#ifndef PGIVM_CYPHER_TOKEN_H_
+#define PGIVM_CYPHER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pgivm {
+
+/// Lexical token kinds of the supported openCypher fragment. Keywords are
+/// case-insensitive per the openCypher grammar; identifiers keep their case.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kParameter,  // $name
+  kInteger,
+  kFloat,
+  kString,
+  // Keywords.
+  kMatch,
+  kOptional,
+  kWhere,
+  kReturn,
+  kWith,
+  kUnwind,
+  kAs,
+  kDistinct,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kIn,
+  kIs,
+  kNull,
+  kTrue,
+  kFalse,
+  kStarts,
+  kEnds,
+  kContains,
+  kSkip,
+  kLimit,
+  kOrder,
+  kBy,
+  kCase,
+  kWhen,
+  kThen,
+  kElse,
+  kEnd_,  // END keyword (kEnd is end-of-input)
+  kUnion,
+  kAll,
+  kExists,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDot,
+  kDotDot,
+  kPipe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kArrowRight,  // ->
+  kArrowLeft,   // <-
+};
+
+/// Returns a printable name for diagnostics ("MATCH", "'('", ...).
+const char* TokenKindName(TokenKind kind);
+
+/// One lexical token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // Identifier/keyword text or literal spelling.
+  int64_t int_value = 0;  // kInteger
+  double double_value = 0.0;  // kFloat
+  std::string string_value;   // kString (unescaped)
+  int line = 1;
+  int column = 1;
+
+  std::string ToString() const;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CYPHER_TOKEN_H_

@@ -1,0 +1,85 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+
+#include "algebra/compiler.h"
+#include "algebra/plan_printer.h"
+#include "baseline/baseline_evaluator.h"
+#include "cypher/parser.h"
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+Result<Query> ParseAndBind(std::string_view cypher,
+                           const ValueMap& parameters) {
+  PGIVM_ASSIGN_OR_RETURN(Query query, ParseQuery(cypher));
+  PGIVM_RETURN_IF_ERROR(SubstituteQueryParameters(query, parameters));
+  return query;
+}
+
+void ApplySkipLimit(std::vector<Tuple>& rows, int64_t skip, int64_t limit) {
+  if (skip > 0) {
+    size_t drop = std::min<size_t>(static_cast<size_t>(skip), rows.size());
+    rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  if (limit >= 0 && rows.size() > static_cast<size_t>(limit)) {
+    rows.resize(static_cast<size_t>(limit));
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<View>> QueryEngine::Register(
+    std::string_view cypher, const ValueMap& parameters) {
+  PGIVM_ASSIGN_OR_RETURN(Query query, ParseAndBind(cypher, parameters));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr gra, CompileToGra(query));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr fra, LowerToFra(gra, options_.plan));
+  PGIVM_ASSIGN_OR_RETURN(std::unique_ptr<ReteNetwork> network,
+                         BuildNetwork(fra, graph_, options_.network));
+
+  auto view = std::shared_ptr<View>(new View());
+  view->query_ = std::string(cypher);
+  view->gra_ = std::move(gra);
+  view->fra_ = std::move(fra);
+  view->network_ = std::move(network);
+  for (const auto& [name, expr] : view->fra_->projections) {
+    view->columns_.push_back(name);
+    (void)expr;
+  }
+  view->skip_ = query.return_clause.skip;
+  view->limit_ = query.return_clause.limit;
+  view->network_->Attach(graph_);
+  return view;
+}
+
+Result<std::vector<Tuple>> QueryEngine::EvaluateOnce(
+    std::string_view cypher, const ValueMap& parameters) const {
+  PGIVM_ASSIGN_OR_RETURN(Query query, ParseAndBind(cypher, parameters));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr gra, CompileToGra(query));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr fra, LowerToFra(gra, options_.plan));
+  BaselineEvaluator evaluator(graph_);
+  PGIVM_ASSIGN_OR_RETURN(Bag bag, evaluator.Evaluate(fra));
+  std::vector<Tuple> rows = BaselineEvaluator::SortedRows(bag);
+  ApplySkipLimit(rows, query.return_clause.skip, query.return_clause.limit);
+  return rows;
+}
+
+Result<OpPtr> QueryEngine::Compile(std::string_view cypher,
+                                   const ValueMap& parameters) const {
+  PGIVM_ASSIGN_OR_RETURN(Query query, ParseAndBind(cypher, parameters));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr gra, CompileToGra(query));
+  return LowerToFra(gra, options_.plan);
+}
+
+Result<std::string> QueryEngine::Explain(std::string_view cypher,
+                                         const ValueMap& parameters) const {
+  PGIVM_ASSIGN_OR_RETURN(Query query, ParseAndBind(cypher, parameters));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr gra, CompileToGra(query));
+  PGIVM_ASSIGN_OR_RETURN(OpPtr fra, LowerToFra(gra, options_.plan));
+  return StrCat("GRA (paper step 1):\n", PrintPlan(gra),
+                "\nFRA (after steps 2-3):\n", PrintPlan(fra));
+}
+
+}  // namespace pgivm

@@ -1,0 +1,75 @@
+#ifndef PGIVM_ENGINE_QUERY_ENGINE_H_
+#define PGIVM_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/passes/pass_manager.h"
+#include "engine/view.h"
+#include "graph/property_graph.h"
+#include "rete/network_builder.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// Engine-wide configuration: plan lowering and runtime flags. Defaults are
+/// the paper's full pipeline; the ablation benchmarks flip individual flags.
+struct EngineOptions {
+  PlanOptions plan;
+  NetworkOptions network;
+};
+
+/// Front door of the library: compiles openCypher queries and keeps their
+/// results incrementally maintained against one PropertyGraph.
+///
+/// Example:
+///   PropertyGraph graph;
+///   QueryEngine engine(&graph);
+///   auto view = engine.Register(
+///       "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) "
+///       "WHERE p.lang = c.lang RETURN p, t");
+///   ...mutate graph; (*view)->Snapshot() is always current...
+///
+/// The engine itself is stateless apart from its configuration; each View
+/// owns its network and subscribes to the graph independently.
+class QueryEngine {
+ public:
+  explicit QueryEngine(PropertyGraph* graph, EngineOptions options = {})
+      : graph_(graph), options_(std::move(options)) {}
+
+  /// Compiles `cypher` through the paper's pipeline (parse → GRA → NRA →
+  /// FRA → Rete) and attaches the resulting view to the graph, priming it
+  /// with the current graph content. `$name` parameters are substituted
+  /// from `parameters` at compile time (a view is specific to one binding).
+  Result<std::shared_ptr<View>> Register(std::string_view cypher,
+                                         const ValueMap& parameters = {});
+
+  /// One-shot, non-incremental evaluation (the baseline strategy): compiles
+  /// the same plan and interprets it against the current graph. Returns
+  /// sorted rows with SKIP/LIMIT applied.
+  Result<std::vector<Tuple>> EvaluateOnce(
+      std::string_view cypher, const ValueMap& parameters = {}) const;
+
+  /// Compiles without instantiating a network; returns the FRA plan (for
+  /// plan inspection, tests and the baseline benchmarks).
+  Result<OpPtr> Compile(std::string_view cypher,
+                        const ValueMap& parameters = {}) const;
+
+  /// Human-readable compilation report: the GRA tree (paper step 1) and the
+  /// lowered FRA plan (steps 2–3) side by side.
+  Result<std::string> Explain(std::string_view cypher,
+                              const ValueMap& parameters = {}) const;
+
+  PropertyGraph* graph() const { return graph_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  PropertyGraph* graph_;
+  EngineOptions options_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_ENGINE_QUERY_ENGINE_H_

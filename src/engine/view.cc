@@ -1,0 +1,23 @@
+#include "engine/view.h"
+
+#include <algorithm>
+
+namespace pgivm {
+
+View::~View() {
+  if (network_) network_->Detach();
+}
+
+std::vector<Tuple> View::Snapshot() const {
+  std::vector<Tuple> rows = network_->production()->SortedSnapshot();
+  if (skip_ > 0) {
+    size_t drop = std::min<size_t>(static_cast<size_t>(skip_), rows.size());
+    rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  if (limit_ >= 0 && rows.size() > static_cast<size_t>(limit_)) {
+    rows.resize(static_cast<size_t>(limit_));
+  }
+  return rows;
+}
+
+}  // namespace pgivm

@@ -1,0 +1,80 @@
+#ifndef PGIVM_ENGINE_VIEW_H_
+#define PGIVM_ENGINE_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "rete/network.h"
+
+namespace pgivm {
+
+/// A live, incrementally maintained query result.
+///
+/// Obtained from QueryEngine::Register. The view stays consistent with its
+/// graph after every committed change; reading it never triggers
+/// re-evaluation. Destroying the view detaches it from the graph.
+///
+/// Ordering note (the paper's ORD restriction): the maintained result is a
+/// bag — no order is maintained. Snapshot() sorts rows only for
+/// presentation/determinism and applies the query's SKIP/LIMIT at that
+/// moment.
+class View {
+ public:
+  ~View();
+
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+
+  /// Output column names, in RETURN order.
+  const std::vector<std::string>& column_names() const { return columns_; }
+
+  /// Current rows, multiplicities expanded, sorted, SKIP/LIMIT applied.
+  std::vector<Tuple> Snapshot() const;
+
+  /// The maintained bag itself (tuple -> multiplicity), unsorted.
+  const Bag& results() const { return network_->production()->results(); }
+
+  /// Total number of result rows (with duplicates).
+  int64_t size() const { return results().total_count(); }
+
+  /// Change notifications; listeners receive normalized deltas.
+  void AddListener(ViewChangeListener* listener) {
+    network_->production()->AddListener(listener);
+  }
+  void RemoveListener(ViewChangeListener* listener) {
+    network_->production()->RemoveListener(listener);
+  }
+
+  const std::string& query() const { return query_; }
+
+  /// Compiled plans, for inspection/tests: the GRA tree (paper step 1) and
+  /// the lowered FRA plan (steps 2–3) the network implements.
+  const OpPtr& gra_plan() const { return gra_; }
+  const OpPtr& fra_plan() const { return fra_; }
+
+  /// Memory held by the Rete node memories of this view.
+  size_t ApproxMemoryBytes() const { return network_->ApproxMemoryBytes(); }
+
+  /// Per-node diagnostics of the underlying network.
+  std::string NetworkDebugString() const { return network_->DebugString(); }
+
+  const ReteNetwork& network() const { return *network_; }
+
+ private:
+  friend class QueryEngine;
+  View() = default;
+
+  std::string query_;
+  OpPtr gra_;
+  OpPtr fra_;
+  std::unique_ptr<ReteNetwork> network_;
+  std::vector<std::string> columns_;
+  int64_t skip_ = 0;
+  int64_t limit_ = -1;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_ENGINE_VIEW_H_

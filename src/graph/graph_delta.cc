@@ -1,0 +1,75 @@
+#include "graph/graph_delta.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+const char* KindName(GraphChange::Kind kind) {
+  switch (kind) {
+    case GraphChange::Kind::kAddVertex:
+      return "AddVertex";
+    case GraphChange::Kind::kRemoveVertex:
+      return "RemoveVertex";
+    case GraphChange::Kind::kAddEdge:
+      return "AddEdge";
+    case GraphChange::Kind::kRemoveEdge:
+      return "RemoveEdge";
+    case GraphChange::Kind::kSetVertexProperty:
+      return "SetVertexProperty";
+    case GraphChange::Kind::kSetEdgeProperty:
+      return "SetEdgeProperty";
+    case GraphChange::Kind::kAddVertexLabel:
+      return "AddVertexLabel";
+    case GraphChange::Kind::kRemoveVertexLabel:
+      return "RemoveVertexLabel";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string GraphChange::ToString() const {
+  std::ostringstream os;
+  os << KindName(kind);
+  switch (kind) {
+    case Kind::kAddVertex:
+    case Kind::kRemoveVertex:
+      os << " v" << vertex << " :" << StrJoin(labels, ":");
+      break;
+    case Kind::kAddEdge:
+    case Kind::kRemoveEdge:
+      os << " e" << edge << " (" << src << ")-[:" << edge_type << "]->(" << dst
+         << ")";
+      break;
+    case Kind::kSetVertexProperty:
+      os << " v" << vertex << "." << property_key << " "
+         << old_value.ToString() << " -> " << new_value.ToString();
+      break;
+    case Kind::kSetEdgeProperty:
+      os << " e" << edge << "." << property_key << " " << old_value.ToString()
+         << " -> " << new_value.ToString();
+      break;
+    case Kind::kAddVertexLabel:
+    case Kind::kRemoveVertexLabel:
+      os << " v" << vertex << " :" << StrJoin(labels, ":");
+      break;
+  }
+  return os.str();
+}
+
+std::string GraphDelta::ToString() const {
+  std::ostringstream os;
+  os << "GraphDelta{";
+  for (size_t i = 0; i < changes.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << changes[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pgivm

@@ -1,0 +1,78 @@
+#ifndef PGIVM_GRAPH_GRAPH_DELTA_H_
+#define PGIVM_GRAPH_GRAPH_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "value/ids.h"
+#include "value/value.h"
+
+namespace pgivm {
+
+/// One elementary, self-contained graph mutation. "Self-contained" means a
+/// consumer can translate the change into relational deltas without reading
+/// the pre-state of the graph: removal records carry the removed payload and
+/// property updates carry both old and new value.
+struct GraphChange {
+  enum class Kind {
+    kAddVertex,
+    kRemoveVertex,
+    kAddEdge,
+    kRemoveEdge,
+    kSetVertexProperty,
+    kSetEdgeProperty,
+    kAddVertexLabel,
+    kRemoveVertexLabel,
+  };
+
+  Kind kind;
+
+  /// Subject element. Exactly one of vertex/edge is meaningful per kind.
+  VertexId vertex = kInvalidId;
+  EdgeId edge = kInvalidId;
+
+  /// Edge endpoints and type (edge kinds and edge-property kinds).
+  VertexId src = kInvalidId;
+  VertexId dst = kInvalidId;
+  std::string edge_type;
+
+  /// Vertex labels: the full label set at add/remove time, or the single
+  /// label added/removed for the label kinds. For property kinds, the
+  /// subject's current labels (vertex) — lets consumers filter by label.
+  std::vector<std::string> labels;
+
+  /// Full property snapshot for add/remove kinds.
+  ValueMap properties;
+
+  /// Property-update payload (kSet*Property). A null Value means "absent",
+  /// so set-from-absent has null old_value and erase has null new_value.
+  std::string property_key;
+  Value old_value;
+  Value new_value;
+
+  std::string ToString() const;
+};
+
+/// An ordered batch of changes emitted atomically (one listener call). The
+/// changes have already been applied to the graph when listeners run, in
+/// the order recorded here.
+struct GraphDelta {
+  std::vector<GraphChange> changes;
+
+  bool empty() const { return changes.empty(); }
+  size_t size() const { return changes.size(); }
+  std::string ToString() const;
+};
+
+/// Observer interface for live graph consumers (the IVM engine, logs, ...).
+class GraphListener {
+ public:
+  virtual ~GraphListener() = default;
+
+  /// Called after `delta` has been fully applied to the graph.
+  virtual void OnGraphDelta(const GraphDelta& delta) = 0;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_GRAPH_GRAPH_DELTA_H_

@@ -1,0 +1,67 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pgivm {
+
+GraphStats ComputeGraphStats(const PropertyGraph& graph) {
+  GraphStats stats;
+  stats.vertex_count = graph.vertex_count();
+  stats.edge_count = graph.edge_count();
+
+  size_t degree_sum = 0;
+  graph.ForEachVertex([&](VertexId v) {
+    for (const std::string& label : graph.VertexLabels(v)) {
+      ++stats.vertices_per_label[label];
+    }
+    for (const auto& [key, value] : graph.VertexProperties(v)) {
+      ++stats.vertex_property_keys[key];
+      (void)value;
+    }
+    size_t out = graph.OutEdges(v).size();
+    size_t in = graph.InEdges(v).size();
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    degree_sum += out + in;
+  });
+  graph.ForEachEdge([&](EdgeId e) {
+    ++stats.edges_per_type[graph.EdgeType(e)];
+    for (const auto& [key, value] : graph.EdgeProperties(e)) {
+      ++stats.edge_property_keys[key];
+      (void)value;
+    }
+  });
+  if (stats.vertex_count > 0) {
+    stats.avg_degree = static_cast<double>(degree_sum) /
+                       (2.0 * static_cast<double>(stats.vertex_count));
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "vertices: " << vertex_count << ", edges: " << edge_count
+     << ", avg degree: " << avg_degree << ", max out/in degree: "
+     << max_out_degree << "/" << max_in_degree << "\n";
+  os << "labels:";
+  for (const auto& [label, n] : vertices_per_label) {
+    os << " " << label << "=" << n;
+  }
+  os << "\ntypes:";
+  for (const auto& [type, n] : edges_per_type) {
+    os << " " << type << "=" << n;
+  }
+  os << "\nvertex keys:";
+  for (const auto& [key, n] : vertex_property_keys) {
+    os << " " << key << "=" << n;
+  }
+  os << "\nedge keys:";
+  for (const auto& [key, n] : edge_property_keys) {
+    os << " " << key << "=" << n;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace pgivm

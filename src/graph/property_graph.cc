@@ -1,0 +1,500 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+void SortUnique(std::vector<std::string>& labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+}
+
+void EraseId(std::vector<int64_t>& ids, int64_t id) {
+  auto it = std::find(ids.begin(), ids.end(), id);
+  if (it != ids.end()) ids.erase(it);
+}
+
+}  // namespace
+
+PropertyGraph::VertexData& PropertyGraph::MutableVertex(VertexId id) {
+  assert(HasVertex(id));
+  return vertices_[static_cast<size_t>(id)];
+}
+
+const PropertyGraph::VertexData& PropertyGraph::GetVertex(VertexId id) const {
+  assert(HasVertex(id));
+  return vertices_[static_cast<size_t>(id)];
+}
+
+PropertyGraph::EdgeData& PropertyGraph::MutableEdge(EdgeId id) {
+  assert(HasEdge(id));
+  return edges_[static_cast<size_t>(id)];
+}
+
+const PropertyGraph::EdgeData& PropertyGraph::GetEdge(EdgeId id) const {
+  assert(HasEdge(id));
+  return edges_[static_cast<size_t>(id)];
+}
+
+VertexId PropertyGraph::AddVertex(std::vector<std::string> labels,
+                                  ValueMap properties) {
+  SortUnique(labels);
+  // Null-valued entries mean "absent" everywhere in the API; normalize here.
+  for (auto it = properties.begin(); it != properties.end();) {
+    it = it->second.is_null() ? properties.erase(it) : std::next(it);
+  }
+
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  VertexData data;
+  data.alive = true;
+  data.labels = labels;
+  data.properties = properties;
+  vertices_.push_back(std::move(data));
+  ++live_vertex_count_;
+  for (const std::string& label : labels) label_index_[label].insert(id);
+
+  GraphChange change;
+  change.kind = GraphChange::Kind::kAddVertex;
+  change.vertex = id;
+  change.labels = std::move(labels);
+  change.properties = std::move(properties);
+  Record(std::move(change));
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
+                                      std::string type, ValueMap properties) {
+  if (!HasVertex(src)) {
+    return Status::NotFound(StrCat("source vertex ", src, " does not exist"));
+  }
+  if (!HasVertex(dst)) {
+    return Status::NotFound(StrCat("target vertex ", dst, " does not exist"));
+  }
+  for (auto it = properties.begin(); it != properties.end();) {
+    it = it->second.is_null() ? properties.erase(it) : std::next(it);
+  }
+
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  EdgeData data;
+  data.alive = true;
+  data.src = src;
+  data.dst = dst;
+  data.type = type;
+  data.properties = properties;
+  edges_.push_back(std::move(data));
+  ++live_edge_count_;
+  type_index_[type].insert(id);
+  vertices_[static_cast<size_t>(src)].out_edges.push_back(id);
+  vertices_[static_cast<size_t>(dst)].in_edges.push_back(id);
+
+  GraphChange change;
+  change.kind = GraphChange::Kind::kAddEdge;
+  change.edge = id;
+  change.src = src;
+  change.dst = dst;
+  change.edge_type = std::move(type);
+  change.properties = std::move(properties);
+  Record(std::move(change));
+  return id;
+}
+
+Status PropertyGraph::RemoveEdge(EdgeId edge) {
+  if (!HasEdge(edge)) {
+    return Status::NotFound(StrCat("edge ", edge, " does not exist"));
+  }
+  EdgeData& data = MutableEdge(edge);
+
+  GraphChange change;
+  change.kind = GraphChange::Kind::kRemoveEdge;
+  change.edge = edge;
+  change.src = data.src;
+  change.dst = data.dst;
+  change.edge_type = data.type;
+  change.properties = data.properties;
+
+  EraseId(vertices_[static_cast<size_t>(data.src)].out_edges, edge);
+  EraseId(vertices_[static_cast<size_t>(data.dst)].in_edges, edge);
+  type_index_[data.type].erase(edge);
+  data.alive = false;
+  data.properties.clear();
+  --live_edge_count_;
+
+  Record(std::move(change));
+  return Status::Ok();
+}
+
+Status PropertyGraph::RemoveVertex(VertexId vertex) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  VertexData& data = MutableVertex(vertex);
+  if (!data.out_edges.empty() || !data.in_edges.empty()) {
+    return Status::FailedPrecondition(
+        StrCat("vertex ", vertex,
+               " still has incident edges; use DetachRemoveVertex"));
+  }
+
+  GraphChange change;
+  change.kind = GraphChange::Kind::kRemoveVertex;
+  change.vertex = vertex;
+  change.labels = data.labels;
+  change.properties = data.properties;
+
+  for (const std::string& label : data.labels) {
+    label_index_[label].erase(vertex);
+  }
+  data.alive = false;
+  data.properties.clear();
+  data.labels.clear();
+  --live_vertex_count_;
+
+  Record(std::move(change));
+  return Status::Ok();
+}
+
+Status PropertyGraph::DetachRemoveVertex(VertexId vertex) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  // Copy: RemoveEdge mutates the incident lists while we iterate.
+  std::vector<EdgeId> incident = GetVertex(vertex).out_edges;
+  const std::vector<EdgeId>& in = GetVertex(vertex).in_edges;
+  incident.insert(incident.end(), in.begin(), in.end());
+  // Self-loops appear in both lists; deduplicate.
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()),
+                 incident.end());
+  for (EdgeId e : incident) PGIVM_RETURN_IF_ERROR(RemoveEdge(e));
+  return RemoveVertex(vertex);
+}
+
+Status PropertyGraph::SetPropertyImpl(bool is_vertex, int64_t id,
+                                      std::string key, Value value) {
+  ValueMap* props = nullptr;
+  GraphChange change;
+  if (is_vertex) {
+    if (!HasVertex(id)) {
+      return Status::NotFound(StrCat("vertex ", id, " does not exist"));
+    }
+    VertexData& data = MutableVertex(id);
+    props = &data.properties;
+    change.kind = GraphChange::Kind::kSetVertexProperty;
+    change.vertex = id;
+    change.labels = data.labels;
+  } else {
+    if (!HasEdge(id)) {
+      return Status::NotFound(StrCat("edge ", id, " does not exist"));
+    }
+    EdgeData& data = MutableEdge(id);
+    props = &data.properties;
+    change.kind = GraphChange::Kind::kSetEdgeProperty;
+    change.edge = id;
+    change.src = data.src;
+    change.dst = data.dst;
+    change.edge_type = data.type;
+  }
+
+  auto it = props->find(key);
+  Value old_value = it == props->end() ? Value::Null() : it->second;
+  if (old_value == value) return Status::Ok();  // No-op write.
+
+  if (value.is_null()) {
+    props->erase(it);
+  } else {
+    (*props)[key] = value;
+  }
+
+  change.property_key = std::move(key);
+  change.old_value = std::move(old_value);
+  change.new_value = std::move(value);
+  Record(std::move(change));
+  return Status::Ok();
+}
+
+Status PropertyGraph::SetVertexProperty(VertexId vertex, std::string key,
+                                        Value value) {
+  return SetPropertyImpl(/*is_vertex=*/true, vertex, std::move(key),
+                         std::move(value));
+}
+
+Status PropertyGraph::SetEdgeProperty(EdgeId edge, std::string key,
+                                      Value value) {
+  return SetPropertyImpl(/*is_vertex=*/false, edge, std::move(key),
+                         std::move(value));
+}
+
+Status PropertyGraph::AddVertexLabel(VertexId vertex, std::string label) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  VertexData& data = MutableVertex(vertex);
+  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
+  if (it != data.labels.end() && *it == label) return Status::Ok();
+  data.labels.insert(it, label);
+  label_index_[label].insert(vertex);
+
+  GraphChange change;
+  change.kind = GraphChange::Kind::kAddVertexLabel;
+  change.vertex = vertex;
+  change.labels = {std::move(label)};
+  Record(std::move(change));
+  return Status::Ok();
+}
+
+Status PropertyGraph::RemoveVertexLabel(VertexId vertex,
+                                        const std::string& label) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  VertexData& data = MutableVertex(vertex);
+  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
+  if (it == data.labels.end() || *it != label) return Status::Ok();
+  data.labels.erase(it);
+  label_index_[label].erase(vertex);
+
+  GraphChange change;
+  change.kind = GraphChange::Kind::kRemoveVertexLabel;
+  change.vertex = vertex;
+  change.labels = {label};
+  Record(std::move(change));
+  return Status::Ok();
+}
+
+Status PropertyGraph::ListAppend(VertexId vertex, const std::string& key,
+                                 Value element) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  Value current = GetVertexProperty(vertex, key);
+  ValueList elements;
+  if (current.is_list()) {
+    elements = current.AsList();
+  } else if (!current.is_null()) {
+    return Status::FailedPrecondition(
+        StrCat("property '", key, "' of vertex ", vertex, " is not a list"));
+  }
+  elements.push_back(std::move(element));
+  return SetVertexProperty(vertex, key, Value::List(std::move(elements)));
+}
+
+Status PropertyGraph::ListRemoveFirst(VertexId vertex, const std::string& key,
+                                      const Value& element) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  Value current = GetVertexProperty(vertex, key);
+  if (!current.is_list()) {
+    return Status::FailedPrecondition(
+        StrCat("property '", key, "' of vertex ", vertex, " is not a list"));
+  }
+  ValueList elements = current.AsList();
+  auto it = std::find(elements.begin(), elements.end(), element);
+  if (it == elements.end()) {
+    return Status::NotFound(StrCat("element ", element.ToString(),
+                                   " not present in list property '", key,
+                                   "'"));
+  }
+  elements.erase(it);
+  return SetVertexProperty(vertex, key, Value::List(std::move(elements)));
+}
+
+Status PropertyGraph::MapPut(VertexId vertex, const std::string& key,
+                             const std::string& entry_key, Value value) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  Value current = GetVertexProperty(vertex, key);
+  ValueMap entries;
+  if (current.is_map()) {
+    entries = current.AsMap();
+  } else if (!current.is_null()) {
+    return Status::FailedPrecondition(
+        StrCat("property '", key, "' of vertex ", vertex, " is not a map"));
+  }
+  entries[entry_key] = std::move(value);
+  return SetVertexProperty(vertex, key, Value::Map(std::move(entries)));
+}
+
+Status PropertyGraph::MapErase(VertexId vertex, const std::string& key,
+                               const std::string& entry_key) {
+  if (!HasVertex(vertex)) {
+    return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
+  }
+  Value current = GetVertexProperty(vertex, key);
+  if (!current.is_map()) {
+    return Status::FailedPrecondition(
+        StrCat("property '", key, "' of vertex ", vertex, " is not a map"));
+  }
+  ValueMap entries = current.AsMap();
+  if (entries.erase(entry_key) == 0) return Status::Ok();
+  return SetVertexProperty(vertex, key, Value::Map(std::move(entries)));
+}
+
+void PropertyGraph::BeginBatch() {
+  assert(!in_batch_ && "batches do not nest");
+  in_batch_ = true;
+  pending_.changes.clear();
+}
+
+void PropertyGraph::CommitBatch() {
+  assert(in_batch_);
+  in_batch_ = false;
+  if (pending_.empty()) return;
+  GraphDelta delta;
+  delta.changes.swap(pending_.changes);
+  Emit(std::move(delta));
+}
+
+void PropertyGraph::AddListener(GraphListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void PropertyGraph::RemoveListener(GraphListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+void PropertyGraph::Record(GraphChange change) {
+  if (in_batch_) {
+    pending_.changes.push_back(std::move(change));
+    return;
+  }
+  GraphDelta delta;
+  delta.changes.push_back(std::move(change));
+  Emit(std::move(delta));
+}
+
+void PropertyGraph::Emit(GraphDelta delta) {
+  for (GraphListener* listener : listeners_) {
+    listener->OnGraphDelta(delta);
+  }
+}
+
+bool PropertyGraph::HasVertex(VertexId vertex) const {
+  return vertex >= 0 && static_cast<size_t>(vertex) < vertices_.size() &&
+         vertices_[static_cast<size_t>(vertex)].alive;
+}
+
+bool PropertyGraph::HasEdge(EdgeId edge) const {
+  return edge >= 0 && static_cast<size_t>(edge) < edges_.size() &&
+         edges_[static_cast<size_t>(edge)].alive;
+}
+
+const std::vector<std::string>& PropertyGraph::VertexLabels(
+    VertexId vertex) const {
+  return GetVertex(vertex).labels;
+}
+
+bool PropertyGraph::VertexHasLabel(VertexId vertex,
+                                   std::string_view label) const {
+  const std::vector<std::string>& labels = GetVertex(vertex).labels;
+  return std::binary_search(labels.begin(), labels.end(), label);
+}
+
+Value PropertyGraph::GetVertexProperty(VertexId vertex,
+                                       std::string_view key) const {
+  const ValueMap& props = GetVertex(vertex).properties;
+  auto it = props.find(std::string(key));
+  return it == props.end() ? Value::Null() : it->second;
+}
+
+Value PropertyGraph::GetEdgeProperty(EdgeId edge, std::string_view key) const {
+  const ValueMap& props = GetEdge(edge).properties;
+  auto it = props.find(std::string(key));
+  return it == props.end() ? Value::Null() : it->second;
+}
+
+const ValueMap& PropertyGraph::VertexProperties(VertexId vertex) const {
+  return GetVertex(vertex).properties;
+}
+
+const ValueMap& PropertyGraph::EdgeProperties(EdgeId edge) const {
+  return GetEdge(edge).properties;
+}
+
+VertexId PropertyGraph::EdgeSource(EdgeId edge) const {
+  return GetEdge(edge).src;
+}
+
+VertexId PropertyGraph::EdgeTarget(EdgeId edge) const {
+  return GetEdge(edge).dst;
+}
+
+const std::string& PropertyGraph::EdgeType(EdgeId edge) const {
+  return GetEdge(edge).type;
+}
+
+const std::vector<EdgeId>& PropertyGraph::OutEdges(VertexId vertex) const {
+  return GetVertex(vertex).out_edges;
+}
+
+const std::vector<EdgeId>& PropertyGraph::InEdges(VertexId vertex) const {
+  return GetVertex(vertex).in_edges;
+}
+
+std::vector<VertexId> PropertyGraph::VerticesWithLabel(
+    std::string_view label) const {
+  auto it = label_index_.find(std::string(label));
+  if (it == label_index_.end()) return {};
+  return std::vector<VertexId>(it->second.begin(), it->second.end());
+}
+
+std::vector<EdgeId> PropertyGraph::EdgesWithType(std::string_view type) const {
+  auto it = type_index_.find(std::string(type));
+  if (it == type_index_.end()) return {};
+  return std::vector<EdgeId>(it->second.begin(), it->second.end());
+}
+
+void PropertyGraph::ForEachVertex(
+    const std::function<void(VertexId)>& fn) const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].alive) fn(static_cast<VertexId>(i));
+  }
+}
+
+void PropertyGraph::ForEachEdge(const std::function<void(EdgeId)>& fn) const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].alive) fn(static_cast<EdgeId>(i));
+  }
+}
+
+size_t PropertyGraph::ApproxMemoryBytes() const {
+  size_t bytes = vertices_.capacity() * sizeof(VertexData) +
+                 edges_.capacity() * sizeof(EdgeData);
+  auto value_bytes = [](const Value& v) {
+    // Shallow estimate: enough for trend lines in the memory experiment.
+    size_t b = sizeof(Value);
+    if (v.is_string()) b += v.AsString().size();
+    if (v.is_list()) b += v.AsList().size() * sizeof(Value);
+    if (v.is_map()) b += v.AsMap().size() * (sizeof(Value) + 16);
+    return b;
+  };
+  for (const VertexData& v : vertices_) {
+    for (const std::string& l : v.labels) bytes += l.size() + sizeof(l);
+    for (const auto& [k, val] : v.properties) {
+      bytes += k.size() + value_bytes(val);
+    }
+    bytes += (v.out_edges.capacity() + v.in_edges.capacity()) * sizeof(EdgeId);
+  }
+  for (const EdgeData& e : edges_) {
+    bytes += e.type.size();
+    for (const auto& [k, val] : e.properties) {
+      bytes += k.size() + value_bytes(val);
+    }
+  }
+  for (const auto& [label, ids] : label_index_) {
+    bytes += label.size() + ids.size() * sizeof(VertexId) * 2;
+  }
+  for (const auto& [type, ids] : type_index_) {
+    bytes += type.size() + ids.size() * sizeof(EdgeId) * 2;
+  }
+  return bytes;
+}
+
+}  // namespace pgivm

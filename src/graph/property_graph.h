@@ -1,0 +1,206 @@
+#ifndef PGIVM_GRAPH_PROPERTY_GRAPH_H_
+#define PGIVM_GRAPH_PROPERTY_GRAPH_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_delta.h"
+#include "support/status.h"
+#include "value/ids.h"
+#include "value/value.h"
+
+namespace pgivm {
+
+/// In-memory property graph per the paper's data model
+/// G = (V, E, st, L, T, labels, types, Pv, Pe):
+///  * vertices carry a *set* of labels and a schema-free property map;
+///  * edges carry exactly one type, a property map, and source/target;
+///  * property values are pgivm::Value (atomic, list, map — nested data).
+///
+/// Mutations are observable: every applied change is delivered to registered
+/// GraphListeners as a self-contained GraphDelta (see graph_delta.h). Calls
+/// outside a batch emit one single-change delta each; BeginBatch/CommitBatch
+/// groups many changes into one atomic delta — the unit of IVM propagation
+/// ("transaction" in the paper's sense).
+///
+/// Identifier discipline: ids are dense, monotonically increasing and never
+/// reused, so downstream state keyed by id stays unambiguous.
+///
+/// Thread-compatibility: const methods are safe to call concurrently;
+/// mutations require external synchronization (single-writer model).
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  // Not copyable or movable: listeners hold stable pointers to the graph.
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+
+  // ---- Mutations ---------------------------------------------------------
+
+  /// Adds a vertex with `labels` (deduplicated) and `properties` (entries
+  /// with null values are dropped). Returns its id.
+  VertexId AddVertex(std::vector<std::string> labels,
+                     ValueMap properties = {});
+
+  /// Adds an edge of `type` from `src` to `dst`. Fails if an endpoint does
+  /// not exist.
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string type,
+                         ValueMap properties = {});
+
+  /// Removes an edge. Fails if it does not exist.
+  Status RemoveEdge(EdgeId edge);
+
+  /// Removes a vertex. Fails if it still has incident edges (use
+  /// DetachRemoveVertex for cascade semantics).
+  Status RemoveVertex(VertexId vertex);
+
+  /// Removes a vertex after removing all incident edges (Cypher's
+  /// DETACH DELETE). Each edge removal is its own change in the delta.
+  Status DetachRemoveVertex(VertexId vertex);
+
+  /// Sets (or, when `value` is null, erases) a vertex/edge property.
+  /// A no-op write (old == new) emits no change.
+  Status SetVertexProperty(VertexId vertex, std::string key, Value value);
+  Status SetEdgeProperty(EdgeId edge, std::string key, Value value);
+
+  /// Adds/removes a single label. Adding an existing or removing a missing
+  /// label is a no-op (OK, no change emitted).
+  Status AddVertexLabel(VertexId vertex, std::string label);
+  Status RemoveVertexLabel(VertexId vertex, const std::string& label);
+
+  // ---- Fine-grained collection updates (FGN) -----------------------------
+  // These express element-level edits of collection properties. They are
+  // recorded as SetProperty changes carrying both old and new collection, so
+  // incremental consumers (the unnest node) can diff them element-wise
+  // instead of recomputing — the paper's FGN property.
+
+  /// Appends `element` to the list property `key` (absent property becomes a
+  /// one-element list). Fails if the property exists and is not a list.
+  Status ListAppend(VertexId vertex, const std::string& key, Value element);
+
+  /// Removes one occurrence of `element` from the list property `key`.
+  /// Fails if the property is not a list or the element is absent.
+  Status ListRemoveFirst(VertexId vertex, const std::string& key,
+                         const Value& element);
+
+  /// Inserts/overwrites `entry_key` in the map property `key` (absent
+  /// property becomes a one-entry map).
+  Status MapPut(VertexId vertex, const std::string& key,
+                const std::string& entry_key, Value value);
+
+  /// Erases `entry_key` from the map property `key`. Fails if the property
+  /// is not a map; erasing a missing entry is a no-op.
+  Status MapErase(VertexId vertex, const std::string& key,
+                  const std::string& entry_key);
+
+  // ---- Batching ----------------------------------------------------------
+
+  /// Starts accumulating changes instead of emitting per-mutation deltas.
+  /// Batches do not nest.
+  void BeginBatch();
+
+  /// Emits every change recorded since BeginBatch as one delta.
+  void CommitBatch();
+
+  bool in_batch() const { return in_batch_; }
+
+  // ---- Listeners ---------------------------------------------------------
+
+  /// Registers/unregisters an observer. The graph does not own listeners;
+  /// they must outlive their registration.
+  void AddListener(GraphListener* listener);
+  void RemoveListener(GraphListener* listener);
+
+  // ---- Reads -------------------------------------------------------------
+
+  bool HasVertex(VertexId vertex) const;
+  bool HasEdge(EdgeId edge) const;
+
+  /// Label set of `vertex` (sorted). Requires existence.
+  const std::vector<std::string>& VertexLabels(VertexId vertex) const;
+  bool VertexHasLabel(VertexId vertex, std::string_view label) const;
+
+  /// Property value, or null Value if absent. Requires element existence.
+  Value GetVertexProperty(VertexId vertex, std::string_view key) const;
+  Value GetEdgeProperty(EdgeId edge, std::string_view key) const;
+  const ValueMap& VertexProperties(VertexId vertex) const;
+  const ValueMap& EdgeProperties(EdgeId edge) const;
+
+  VertexId EdgeSource(EdgeId edge) const;
+  VertexId EdgeTarget(EdgeId edge) const;
+  const std::string& EdgeType(EdgeId edge) const;
+
+  /// Incident edge lists (ids of live edges).
+  const std::vector<EdgeId>& OutEdges(VertexId vertex) const;
+  const std::vector<EdgeId>& InEdges(VertexId vertex) const;
+
+  /// All live vertices carrying `label`, in unspecified order (label index).
+  std::vector<VertexId> VerticesWithLabel(std::string_view label) const;
+
+  /// All live edges of `type`, in unspecified order (type index).
+  std::vector<EdgeId> EdgesWithType(std::string_view type) const;
+
+  /// Visits every live vertex/edge id in increasing id order.
+  void ForEachVertex(const std::function<void(VertexId)>& fn) const;
+  void ForEachEdge(const std::function<void(EdgeId)>& fn) const;
+
+  size_t vertex_count() const { return live_vertex_count_; }
+  size_t edge_count() const { return live_edge_count_; }
+
+  /// Rough heap usage of the store (elements, properties, indexes), for the
+  /// memory experiments.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct VertexData {
+    bool alive = false;
+    std::vector<std::string> labels;  // sorted, unique
+    ValueMap properties;
+    std::vector<EdgeId> out_edges;
+    std::vector<EdgeId> in_edges;
+  };
+
+  struct EdgeData {
+    bool alive = false;
+    VertexId src = kInvalidId;
+    VertexId dst = kInvalidId;
+    std::string type;
+    ValueMap properties;
+  };
+
+  VertexData& MutableVertex(VertexId id);
+  const VertexData& GetVertex(VertexId id) const;
+  EdgeData& MutableEdge(EdgeId id);
+  const EdgeData& GetEdge(EdgeId id) const;
+
+  /// Records one applied change: appended to the open batch, or emitted as a
+  /// singleton delta.
+  void Record(GraphChange change);
+  void Emit(GraphDelta delta);
+
+  /// Shared implementation of vertex/edge property writes.
+  Status SetPropertyImpl(bool is_vertex, int64_t id, std::string key,
+                         Value value);
+
+  std::vector<VertexData> vertices_;
+  std::vector<EdgeData> edges_;
+  size_t live_vertex_count_ = 0;
+  size_t live_edge_count_ = 0;
+
+  std::unordered_map<std::string, std::unordered_set<VertexId>> label_index_;
+  std::unordered_map<std::string, std::unordered_set<EdgeId>> type_index_;
+
+  bool in_batch_ = false;
+  GraphDelta pending_;
+
+  std::vector<GraphListener*> listeners_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_GRAPH_PROPERTY_GRAPH_H_

@@ -1,0 +1,70 @@
+#include "rete/delta.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pgivm {
+
+Delta Normalize(const Delta& delta) {
+  std::unordered_map<Tuple, int64_t, TupleHash> net;
+  std::vector<Tuple> order;
+  for (const DeltaEntry& entry : delta) {
+    auto [it, inserted] = net.emplace(entry.tuple, 0);
+    if (inserted) order.push_back(entry.tuple);
+    it->second += entry.multiplicity;
+  }
+  Delta out;
+  out.reserve(order.size());
+  for (const Tuple& tuple : order) {
+    int64_t m = net[tuple];
+    if (m != 0) out.push_back({tuple, m});
+  }
+  return out;
+}
+
+std::string DeltaToString(const Delta& delta) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << (delta[i].multiplicity > 0 ? "+" : "") << delta[i].multiplicity
+       << "x" << delta[i].tuple.ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+std::pair<int64_t, int64_t> Bag::Apply(const Tuple& tuple,
+                                       int64_t multiplicity) {
+  auto it = counts_.find(tuple);
+  int64_t old_count = it == counts_.end() ? 0 : it->second;
+  int64_t new_count = old_count + multiplicity;
+  assert(new_count >= 0 && "bag count went negative: upstream emitted a "
+                           "retraction for a tuple it never asserted");
+  total_ += multiplicity;
+  if (new_count == 0) {
+    if (it != counts_.end()) counts_.erase(it);
+  } else if (it == counts_.end()) {
+    counts_.emplace(tuple, new_count);
+  } else {
+    it->second = new_count;
+  }
+  return {old_count, new_count};
+}
+
+int64_t Bag::Count(const Tuple& tuple) const {
+  auto it = counts_.find(tuple);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+size_t Bag::ApproxMemoryBytes() const {
+  size_t bytes = counts_.bucket_count() * sizeof(void*);
+  for (const auto& [tuple, count] : counts_) {
+    bytes += sizeof(Tuple) + sizeof(int64_t);
+    for (const Value& v : tuple.values()) bytes += v.ApproxMemoryBytes();
+    (void)count;
+  }
+  return bytes;
+}
+
+}  // namespace pgivm

@@ -1,0 +1,59 @@
+#ifndef PGIVM_RETE_DELTA_H_
+#define PGIVM_RETE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rete/tuple.h"
+
+namespace pgivm {
+
+/// One signed bag update: `multiplicity` copies of `tuple` are inserted
+/// (positive) or deleted (negative). Never zero.
+struct DeltaEntry {
+  Tuple tuple;
+  int64_t multiplicity;
+};
+
+/// An ordered batch of bag updates flowing along a Rete edge. Entries may
+/// partially cancel; Normalize() coalesces them.
+using Delta = std::vector<DeltaEntry>;
+
+/// Coalesces entries with equal tuples and drops zero-multiplicity entries.
+Delta Normalize(const Delta& delta);
+
+std::string DeltaToString(const Delta& delta);
+
+/// Counted bag of tuples: the memory unit of stateful Rete nodes.
+/// Counts are always positive; applying a change that would drive a count
+/// negative is a propagation bug (asserted).
+class Bag {
+ public:
+  using Map = std::unordered_map<Tuple, int64_t, TupleHash>;
+
+  /// Adds `multiplicity` (may be negative) to `tuple`'s count. Returns
+  /// {old_count, new_count}; erases the entry when it reaches zero.
+  std::pair<int64_t, int64_t> Apply(const Tuple& tuple, int64_t multiplicity);
+
+  int64_t Count(const Tuple& tuple) const;
+
+  /// Number of distinct tuples.
+  size_t distinct_size() const { return counts_.size(); }
+
+  /// Sum of all multiplicities.
+  int64_t total_count() const { return total_; }
+
+  const Map& counts() const { return counts_; }
+
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  Map counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_DELTA_H_

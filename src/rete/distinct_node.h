@@ -1,0 +1,30 @@
+#ifndef PGIVM_RETE_DISTINCT_NODE_H_
+#define PGIVM_RETE_DISTINCT_NODE_H_
+
+#include "rete/node.h"
+
+namespace pgivm {
+
+/// δ — bag-to-set conversion with counting (Griffin–Libkin style): a tuple
+/// is asserted downstream when its support count rises 0→positive and
+/// retracted when it falls back to 0, regardless of the multiplicities in
+/// between.
+class DistinctNode : public ReteNode {
+ public:
+  explicit DistinctNode(Schema schema) : ReteNode(std::move(schema)) {}
+
+  void OnDelta(int port, const Delta& delta) override;
+
+  size_t ApproxMemoryBytes() const override {
+    return support_.ApproxMemoryBytes();
+  }
+
+  std::string DebugString() const override { return "Distinct"; }
+
+ private:
+  Bag support_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_DISTINCT_NODE_H_

@@ -1,0 +1,60 @@
+#ifndef PGIVM_RETE_EXPRESSION_EVAL_H_
+#define PGIVM_RETE_EXPRESSION_EVAL_H_
+
+#include <memory>
+
+#include "algebra/schema.h"
+#include "cypher/expression.h"
+#include "graph/property_graph.h"
+#include "rete/tuple.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+/// An expression compiled against a schema: variable references are resolved
+/// to column indices once, then Eval runs per tuple.
+///
+/// `graph` is optional. Rete nodes bind without a graph — after property
+/// pushdown their expressions are pure tuple functions, and evaluating a
+/// graph-dependent construct (property of a vertex/edge reference,
+/// labels()/type()/properties() on a reference) without a graph yields null.
+/// The baseline evaluator binds *with* the graph and evaluates those
+/// constructs directly.
+///
+/// Semantics follow Cypher's ternary logic: comparisons and arithmetic with
+/// null operands yield null; AND/OR/XOR/NOT are three-valued; selection
+/// keeps rows whose predicate is exactly true.
+class BoundExpression {
+ public:
+  /// Resolves `expr` against `schema`. Fails on unknown variables or on
+  /// aggregate calls (those are handled by the aggregate node, not here).
+  static Result<BoundExpression> Bind(const ExprPtr& expr,
+                                      const Schema& schema,
+                                      const PropertyGraph* graph = nullptr);
+
+  Value Eval(const Tuple& tuple) const;
+
+  const ExprPtr& expr() const { return expr_; }
+
+ private:
+  BoundExpression(ExprPtr expr, const Schema* schema,
+                  const PropertyGraph* graph)
+      : expr_(std::move(expr)), graph_(graph) {
+    (void)schema;
+  }
+
+  Value EvalNode(const Expression& e, const Tuple& tuple) const;
+  Value EvalUnary(const Expression& e, const Tuple& tuple) const;
+  Value EvalBinary(const Expression& e, const Tuple& tuple) const;
+  Value EvalFunction(const Expression& e, const Tuple& tuple) const;
+
+  ExprPtr expr_;
+  const PropertyGraph* graph_;
+};
+
+/// Evaluates truthiness for WHERE: true iff `v` is Bool(true).
+inline bool IsTrue(const Value& v) { return v.is_bool() && v.AsBool(); }
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_EXPRESSION_EVAL_H_

@@ -1,0 +1,20 @@
+#include "rete/filter_node.h"
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+void FilterNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  Delta out;
+  for (const DeltaEntry& entry : delta) {
+    if (IsTrue(predicate_.Eval(entry.tuple))) out.push_back(entry);
+  }
+  Emit(out);
+}
+
+std::string FilterNode::DebugString() const {
+  return StrCat("Filter[", predicate_.expr()->ToString(), "]");
+}
+
+}  // namespace pgivm

@@ -1,0 +1,417 @@
+#include "rete/input_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+Value LabelsValue(const std::vector<std::string>& labels) {
+  ValueList out;
+  out.reserve(labels.size());
+  for (const std::string& label : labels) out.push_back(Value::String(label));
+  return Value::List(std::move(out));
+}
+
+Value PropertyValue(const ValueMap& properties, const std::string& key) {
+  auto it = properties.find(key);
+  return it == properties.end() ? Value::Null() : it->second;
+}
+
+}  // namespace
+
+// ---- VertexInputNode -------------------------------------------------------
+
+VertexInputNode::VertexInputNode(Schema schema, const PropertyGraph* graph,
+                                 std::vector<std::string> required_labels,
+                                 std::vector<PropertyExtract> extracts)
+    : ReteNode(std::move(schema)),
+      graph_(graph),
+      required_labels_(std::move(required_labels)),
+      extracts_(std::move(extracts)) {
+  std::sort(required_labels_.begin(), required_labels_.end());
+}
+
+void VertexInputNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  (void)delta;
+  assert(false && "input nodes have no upstream");
+}
+
+bool VertexInputNode::Matches(const std::vector<std::string>& labels) const {
+  // Both sides sorted: subset test by inclusion.
+  return std::includes(labels.begin(), labels.end(),
+                       required_labels_.begin(), required_labels_.end());
+}
+
+Value VertexInputNode::ExtractValue(const PropertyExtract& extract,
+                                    const std::vector<std::string>& labels,
+                                    const ValueMap& properties) {
+  switch (extract.what) {
+    case PropertyExtract::What::kProperty:
+      return PropertyValue(properties, extract.key);
+    case PropertyExtract::What::kLabels:
+      return LabelsValue(labels);
+    case PropertyExtract::What::kPropertyMap:
+      return Value::Map(properties);
+    case PropertyExtract::What::kType:
+      return Value::Null();  // Vertices have no type.
+  }
+  return Value::Null();
+}
+
+Tuple VertexInputNode::BuildTuple(VertexId v,
+                                  const std::vector<std::string>& labels,
+                                  const ValueMap& properties) const {
+  std::vector<Value> values;
+  values.reserve(1 + extracts_.size());
+  values.push_back(Value::Vertex(v));
+  for (const PropertyExtract& extract : extracts_) {
+    values.push_back(ExtractValue(extract, labels, properties));
+  }
+  return Tuple(std::move(values));
+}
+
+void VertexInputNode::HandleChange(const GraphChange& change) {
+  switch (change.kind) {
+    case GraphChange::Kind::kAddVertex: {
+      if (!Matches(change.labels)) return;
+      Tuple tuple = BuildTuple(change.vertex, change.labels,
+                               change.properties);
+      asserted_.emplace(change.vertex, tuple);
+      Emit({{std::move(tuple), 1}});
+      return;
+    }
+    case GraphChange::Kind::kRemoveVertex: {
+      auto it = asserted_.find(change.vertex);
+      if (it == asserted_.end()) return;
+      Tuple old = it->second;
+      asserted_.erase(it);
+      Emit({{std::move(old), -1}});
+      return;
+    }
+    case GraphChange::Kind::kSetVertexProperty: {
+      auto it = asserted_.find(change.vertex);
+      if (it == asserted_.end()) return;
+      const Tuple& old = it->second;
+      // Rebuild only the columns the changed key touches, against the
+      // *stored* tuple: correct even mid-batch.
+      Tuple updated = old;
+      for (size_t i = 0; i < extracts_.size(); ++i) {
+        const PropertyExtract& extract = extracts_[i];
+        if (extract.what == PropertyExtract::What::kProperty &&
+            extract.key == change.property_key) {
+          updated = updated.WithColumn(i + 1, change.new_value);
+        } else if (extract.what == PropertyExtract::What::kPropertyMap) {
+          ValueMap map = updated.at(i + 1).is_map() ? updated.at(i + 1).AsMap()
+                                                    : ValueMap{};
+          if (change.new_value.is_null()) {
+            map.erase(change.property_key);
+          } else {
+            map[change.property_key] = change.new_value;
+          }
+          updated = updated.WithColumn(i + 1, Value::Map(std::move(map)));
+        }
+      }
+      if (updated == old) return;
+      Delta delta{{old, -1}, {updated, 1}};
+      it->second = std::move(updated);
+      Emit(delta);
+      return;
+    }
+    case GraphChange::Kind::kAddVertexLabel:
+    case GraphChange::Kind::kRemoveVertexLabel: {
+      VertexId v = change.vertex;
+      bool matched_now =
+          graph_->HasVertex(v) && Matches(graph_->VertexLabels(v));
+      auto it = asserted_.find(v);
+      if (it == asserted_.end()) {
+        if (!matched_now) return;
+        Tuple tuple = BuildTuple(v, graph_->VertexLabels(v),
+                                 graph_->VertexProperties(v));
+        asserted_.emplace(v, tuple);
+        Emit({{std::move(tuple), 1}});
+        return;
+      }
+      if (!matched_now) {
+        Tuple old = it->second;
+        asserted_.erase(it);
+        Emit({{std::move(old), -1}});
+        return;
+      }
+      // Still matching: refresh labels() columns if any.
+      Tuple updated = it->second;
+      for (size_t i = 0; i < extracts_.size(); ++i) {
+        if (extracts_[i].what == PropertyExtract::What::kLabels) {
+          updated = updated.WithColumn(i + 1,
+                                       LabelsValue(graph_->VertexLabels(v)));
+        }
+      }
+      if (updated == it->second) return;
+      Delta delta{{it->second, -1}, {updated, 1}};
+      it->second = std::move(updated);
+      Emit(delta);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void VertexInputNode::EmitInitialFromGraph() {
+  Delta delta;
+  auto consider = [this, &delta](VertexId v) {
+    if (!Matches(graph_->VertexLabels(v))) return;
+    Tuple tuple = BuildTuple(v, graph_->VertexLabels(v),
+                             graph_->VertexProperties(v));
+    asserted_.emplace(v, tuple);
+    delta.push_back({std::move(tuple), 1});
+  };
+  if (!required_labels_.empty()) {
+    std::vector<VertexId> candidates =
+        graph_->VerticesWithLabel(required_labels_[0]);
+    std::sort(candidates.begin(), candidates.end());
+    for (VertexId v : candidates) consider(v);
+  } else {
+    graph_->ForEachVertex(consider);
+  }
+  Emit(delta);
+}
+
+size_t VertexInputNode::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [v, tuple] : asserted_) {
+    bytes += sizeof(VertexId) + sizeof(Tuple) + tuple.size() * sizeof(Value);
+  }
+  return bytes;
+}
+
+std::string VertexInputNode::DebugString() const {
+  return StrCat("Vertices[:", StrJoin(required_labels_, ":"), "]");
+}
+
+// ---- EdgeInputNode ---------------------------------------------------------
+
+EdgeInputNode::EdgeInputNode(Schema schema, const PropertyGraph* graph,
+                             std::vector<std::string> types, bool undirected,
+                             std::string src_var, std::string edge_var,
+                             std::string dst_var,
+                             std::vector<PropertyExtract> extracts)
+    : ReteNode(std::move(schema)),
+      graph_(graph),
+      types_(std::move(types)),
+      undirected_(undirected),
+      src_var_(std::move(src_var)),
+      edge_var_(std::move(edge_var)),
+      dst_var_(std::move(dst_var)),
+      extracts_(std::move(extracts)) {
+  for (const PropertyExtract& extract : extracts_) {
+    if (extract.element_var != edge_var_) depends_on_vertices_ = true;
+  }
+}
+
+void EdgeInputNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  (void)delta;
+  assert(false && "input nodes have no upstream");
+}
+
+bool EdgeInputNode::TypeMatches(const std::string& type) const {
+  if (types_.empty()) return true;
+  return std::find(types_.begin(), types_.end(), type) != types_.end();
+}
+
+Value EdgeInputNode::ExtractValue(const PropertyExtract& extract, VertexId a,
+                                  VertexId b, const std::string& type,
+                                  const ValueMap& edge_properties) const {
+  if (extract.element_var == edge_var_) {
+    switch (extract.what) {
+      case PropertyExtract::What::kProperty:
+        return PropertyValue(edge_properties, extract.key);
+      case PropertyExtract::What::kType:
+        return Value::String(type);
+      case PropertyExtract::What::kPropertyMap:
+        return Value::Map(edge_properties);
+      case PropertyExtract::What::kLabels:
+        return Value::Null();
+    }
+    return Value::Null();
+  }
+  VertexId subject = extract.element_var == src_var_ ? a : b;
+  switch (extract.what) {
+    case PropertyExtract::What::kProperty:
+      return graph_->GetVertexProperty(subject, extract.key);
+    case PropertyExtract::What::kLabels:
+      return LabelsValue(graph_->VertexLabels(subject));
+    case PropertyExtract::What::kPropertyMap:
+      return Value::Map(graph_->VertexProperties(subject));
+    case PropertyExtract::What::kType:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Tuple EdgeInputNode::BuildTuple(VertexId a, VertexId b, EdgeId e,
+                                const std::string& type,
+                                const ValueMap& edge_properties) const {
+  std::vector<Value> values;
+  values.reserve(3 + extracts_.size());
+  values.push_back(Value::Vertex(a));
+  values.push_back(Value::Edge(e));
+  values.push_back(Value::Vertex(b));
+  for (const PropertyExtract& extract : extracts_) {
+    values.push_back(ExtractValue(extract, a, b, type, edge_properties));
+  }
+  return Tuple(std::move(values));
+}
+
+void EdgeInputNode::AssertEdge(EdgeId e, VertexId src, VertexId dst,
+                               const std::string& type,
+                               const ValueMap& edge_properties, Delta& out) {
+  std::vector<Tuple>& tuples = asserted_[e];
+  tuples.push_back(BuildTuple(src, dst, e, type, edge_properties));
+  out.push_back({tuples.back(), 1});
+  if (undirected_ && src != dst) {
+    tuples.push_back(BuildTuple(dst, src, e, type, edge_properties));
+    out.push_back({tuples.back(), 1});
+  }
+}
+
+void EdgeInputNode::RefreshIncident(VertexId v, Delta& out) {
+  std::vector<EdgeId> incident = graph_->OutEdges(v);
+  const std::vector<EdgeId>& in = graph_->InEdges(v);
+  incident.insert(incident.end(), in.begin(), in.end());
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()),
+                 incident.end());
+  for (EdgeId e : incident) {
+    auto it = asserted_.find(e);
+    if (it == asserted_.end()) continue;
+    const std::string& type = graph_->EdgeType(e);
+    const ValueMap& props = graph_->EdgeProperties(e);
+    VertexId src = graph_->EdgeSource(e);
+    VertexId dst = graph_->EdgeTarget(e);
+    std::vector<Tuple> fresh;
+    fresh.push_back(BuildTuple(src, dst, e, type, props));
+    if (undirected_ && src != dst) {
+      fresh.push_back(BuildTuple(dst, src, e, type, props));
+    }
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (!(it->second[i] == fresh[i])) {
+        out.push_back({it->second[i], -1});
+        out.push_back({fresh[i], 1});
+      }
+    }
+    it->second = std::move(fresh);
+  }
+}
+
+void EdgeInputNode::HandleChange(const GraphChange& change) {
+  Delta out;
+  switch (change.kind) {
+    case GraphChange::Kind::kAddEdge:
+      if (!TypeMatches(change.edge_type)) return;
+      AssertEdge(change.edge, change.src, change.dst, change.edge_type,
+                 change.properties, out);
+      break;
+    case GraphChange::Kind::kRemoveEdge: {
+      auto it = asserted_.find(change.edge);
+      if (it == asserted_.end()) return;
+      for (const Tuple& tuple : it->second) out.push_back({tuple, -1});
+      asserted_.erase(it);
+      break;
+    }
+    case GraphChange::Kind::kSetEdgeProperty: {
+      auto it = asserted_.find(change.edge);
+      if (it == asserted_.end()) return;
+      for (Tuple& stored : it->second) {
+        Tuple updated = stored;
+        for (size_t i = 0; i < extracts_.size(); ++i) {
+          const PropertyExtract& extract = extracts_[i];
+          if (extract.element_var != edge_var_) continue;
+          size_t col = 3 + i;
+          if (extract.what == PropertyExtract::What::kProperty &&
+              extract.key == change.property_key) {
+            updated = updated.WithColumn(col, change.new_value);
+          } else if (extract.what == PropertyExtract::What::kPropertyMap) {
+            ValueMap map = updated.at(col).is_map() ? updated.at(col).AsMap()
+                                                    : ValueMap{};
+            if (change.new_value.is_null()) {
+              map.erase(change.property_key);
+            } else {
+              map[change.property_key] = change.new_value;
+            }
+            updated = updated.WithColumn(col, Value::Map(std::move(map)));
+          }
+        }
+        if (updated == stored) continue;
+        out.push_back({stored, -1});
+        out.push_back({updated, 1});
+        stored = std::move(updated);
+      }
+      break;
+    }
+    case GraphChange::Kind::kSetVertexProperty:
+    case GraphChange::Kind::kAddVertexLabel:
+    case GraphChange::Kind::kRemoveVertexLabel:
+      if (!depends_on_vertices_) return;
+      if (!graph_->HasVertex(change.vertex)) return;
+      RefreshIncident(change.vertex, out);
+      break;
+    default:
+      return;
+  }
+  Emit(out);
+}
+
+void EdgeInputNode::EmitInitialFromGraph() {
+  Delta delta;
+  auto consider = [this, &delta](EdgeId e) {
+    if (!TypeMatches(graph_->EdgeType(e))) return;
+    AssertEdge(e, graph_->EdgeSource(e), graph_->EdgeTarget(e),
+               graph_->EdgeType(e), graph_->EdgeProperties(e), delta);
+  };
+  if (!types_.empty()) {
+    std::vector<EdgeId> candidates;
+    for (const std::string& type : types_) {
+      std::vector<EdgeId> of_type = graph_->EdgesWithType(type);
+      candidates.insert(candidates.end(), of_type.begin(), of_type.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (EdgeId e : candidates) consider(e);
+  } else {
+    graph_->ForEachEdge(consider);
+  }
+  Emit(delta);
+}
+
+size_t EdgeInputNode::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [e, tuples] : asserted_) {
+    bytes += sizeof(EdgeId);
+    for (const Tuple& tuple : tuples) {
+      bytes += sizeof(Tuple) + tuple.size() * sizeof(Value);
+    }
+  }
+  return bytes;
+}
+
+std::string EdgeInputNode::DebugString() const {
+  return StrCat("Edges[:", StrJoin(types_, "|"), undirected_ ? " undir" : "",
+                "]");
+}
+
+// ---- UnitInputNode ---------------------------------------------------------
+
+void UnitInputNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  (void)delta;
+  assert(false && "input nodes have no upstream");
+}
+
+}  // namespace pgivm

@@ -1,0 +1,122 @@
+#ifndef PGIVM_RETE_INPUT_NODE_H_
+#define PGIVM_RETE_INPUT_NODE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "graph/property_graph.h"
+#include "rete/node.h"
+
+namespace pgivm {
+
+/// Mixin for nodes at the graph boundary: the network forwards every
+/// GraphChange to them, and asks once for the pre-existing graph state when
+/// a view is registered on a non-empty graph.
+class GraphSourceNode {
+ public:
+  virtual ~GraphSourceNode() = default;
+
+  /// Translates one (already applied) graph change into relational deltas.
+  virtual void HandleChange(const GraphChange& change) = 0;
+
+  /// Asserts the tuples for the current graph content.
+  virtual void EmitInitialFromGraph() = 0;
+};
+
+/// ◯ — the get-vertices base relation: one tuple [v, extracts...] per live
+/// vertex carrying all required labels.
+///
+/// The node keeps the currently asserted tuple per vertex, so updates are
+/// translated into exact retract/assert pairs even inside multi-change
+/// batches (each change is applied to the stored tuple, never re-read from
+/// intermediate graph state).
+class VertexInputNode : public ReteNode, public GraphSourceNode {
+ public:
+  VertexInputNode(Schema schema, const PropertyGraph* graph,
+                  std::vector<std::string> required_labels,
+                  std::vector<PropertyExtract> extracts);
+
+  void OnDelta(int port, const Delta& delta) override;
+  void HandleChange(const GraphChange& change) override;
+  void EmitInitialFromGraph() override;
+
+  size_t ApproxMemoryBytes() const override;
+  std::string DebugString() const override;
+
+ private:
+  bool Matches(const std::vector<std::string>& labels) const;
+  Tuple BuildTuple(VertexId v, const std::vector<std::string>& labels,
+                   const ValueMap& properties) const;
+  static Value ExtractValue(const PropertyExtract& extract,
+                            const std::vector<std::string>& labels,
+                            const ValueMap& properties);
+
+  const PropertyGraph* graph_;
+  std::vector<std::string> required_labels_;  // sorted
+  std::vector<PropertyExtract> extracts_;
+  std::unordered_map<VertexId, Tuple> asserted_;
+};
+
+/// ⇑ — the get-edges base relation: one tuple [src, e, dst, extracts...]
+/// per live edge of a matching type (two orientation tuples for undirected
+/// patterns). Extracts may read the edge's own properties/type or the
+/// endpoint vertices' properties/labels — the node reacts to endpoint
+/// updates via the incident-edge lists.
+class EdgeInputNode : public ReteNode, public GraphSourceNode {
+ public:
+  EdgeInputNode(Schema schema, const PropertyGraph* graph,
+                std::vector<std::string> types, bool undirected,
+                std::string src_var, std::string edge_var,
+                std::string dst_var, std::vector<PropertyExtract> extracts);
+
+  void OnDelta(int port, const Delta& delta) override;
+  void HandleChange(const GraphChange& change) override;
+  void EmitInitialFromGraph() override;
+
+  size_t ApproxMemoryBytes() const override;
+  std::string DebugString() const override;
+
+ private:
+  bool TypeMatches(const std::string& type) const;
+  /// Builds the tuple for orientation (a -> b) of edge `e`.
+  Tuple BuildTuple(VertexId a, VertexId b, EdgeId e, const std::string& type,
+                   const ValueMap& edge_properties) const;
+  Value ExtractValue(const PropertyExtract& extract, VertexId a, VertexId b,
+                     const std::string& type,
+                     const ValueMap& edge_properties) const;
+  void AssertEdge(EdgeId e, VertexId src, VertexId dst,
+                  const std::string& type, const ValueMap& edge_properties,
+                  Delta& out);
+  /// Recomputes stored tuples of every incident edge of `v` after a vertex
+  /// -side update.
+  void RefreshIncident(VertexId v, Delta& out);
+
+  const PropertyGraph* graph_;
+  std::vector<std::string> types_;
+  bool undirected_;
+  std::string src_var_;
+  std::string edge_var_;
+  std::string dst_var_;
+  std::vector<PropertyExtract> extracts_;
+  bool depends_on_vertices_ = false;
+  std::unordered_map<EdgeId, std::vector<Tuple>> asserted_;
+};
+
+/// The Unit relation: exactly one empty tuple, asserted at startup. Base of
+/// pattern-free queries (`UNWIND [1,2] AS x RETURN x`).
+class UnitInputNode : public ReteNode, public GraphSourceNode {
+ public:
+  UnitInputNode() : ReteNode(Schema{}) {}
+
+  void OnDelta(int port, const Delta& delta) override;
+  void HandleChange(const GraphChange& /*change*/) override {}
+  void EmitInitialFromGraph() override { Emit({{Tuple(), 1}}); }
+
+  std::string DebugString() const override { return "Unit"; }
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_INPUT_NODE_H_

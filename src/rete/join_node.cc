@@ -1,0 +1,86 @@
+#include "rete/join_node.h"
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+JoinLayout JoinLayout::Make(const Schema& left, const Schema& right) {
+  JoinLayout layout;
+  for (size_t i = 0; i < left.size(); ++i) {
+    int r = right.IndexOf(left.at(i).name);
+    if (r >= 0) {
+      layout.left_key.push_back(static_cast<int>(i));
+      layout.right_key.push_back(r);
+    }
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    if (!left.Contains(right.at(i).name)) {
+      layout.right_rest.push_back(static_cast<int>(i));
+    }
+  }
+  return layout;
+}
+
+JoinNode::JoinNode(Schema schema, const Schema& left, const Schema& right)
+    : ReteNode(std::move(schema)), layout_(JoinLayout::Make(left, right)) {}
+
+void JoinNode::Apply(Memory& memory, const Tuple& key, const Tuple& tuple,
+                     int64_t multiplicity) {
+  Bag& bag = memory[key];
+  bag.Apply(tuple, multiplicity);
+  if (bag.total_count() == 0) memory.erase(key);
+}
+
+Tuple JoinNode::Combine(const Tuple& left, const Tuple& right) const {
+  std::vector<Value> values = left.values();
+  values.reserve(values.size() + layout_.right_rest.size());
+  for (int i : layout_.right_rest) {
+    values.push_back(right.at(static_cast<size_t>(i)));
+  }
+  return Tuple(std::move(values));
+}
+
+void JoinNode::OnDelta(int port, const Delta& delta) {
+  Delta out;
+  for (const DeltaEntry& entry : delta) {
+    if (port == 0) {
+      Tuple key = entry.tuple.Project(layout_.left_key);
+      Apply(left_memory_, key, entry.tuple, entry.multiplicity);
+      auto it = right_memory_.find(key);
+      if (it == right_memory_.end()) continue;
+      for (const auto& [right_tuple, right_count] : it->second.counts()) {
+        out.push_back({Combine(entry.tuple, right_tuple),
+                       entry.multiplicity * right_count});
+      }
+    } else {
+      Tuple key = entry.tuple.Project(layout_.right_key);
+      Apply(right_memory_, key, entry.tuple, entry.multiplicity);
+      auto it = left_memory_.find(key);
+      if (it == left_memory_.end()) continue;
+      for (const auto& [left_tuple, left_count] : it->second.counts()) {
+        out.push_back({Combine(left_tuple, entry.tuple),
+                       entry.multiplicity * left_count});
+      }
+    }
+  }
+  Emit(out);
+}
+
+size_t JoinNode::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, bag] : left_memory_) {
+    bytes += sizeof(Tuple) + key.size() * sizeof(Value);
+    bytes += bag.ApproxMemoryBytes();
+  }
+  for (const auto& [key, bag] : right_memory_) {
+    bytes += sizeof(Tuple) + key.size() * sizeof(Value);
+    bytes += bag.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+std::string JoinNode::DebugString() const {
+  return StrCat("Join[", layout_.left_key.size(), " keys]");
+}
+
+}  // namespace pgivm

@@ -1,0 +1,53 @@
+#include "rete/network.h"
+
+#include <sstream>
+
+namespace pgivm {
+
+ReteNetwork::~ReteNetwork() { Detach(); }
+
+void ReteNetwork::Attach(PropertyGraph* graph) {
+  attached_graph_ = graph;
+  for (const auto& node : nodes_) node->EmitInitial();
+  for (GraphSourceNode* source : sources_) source->EmitInitialFromGraph();
+  graph->AddListener(this);
+}
+
+void ReteNetwork::Detach() {
+  if (attached_graph_ == nullptr) return;
+  attached_graph_->RemoveListener(this);
+  attached_graph_ = nullptr;
+}
+
+void ReteNetwork::OnGraphDelta(const GraphDelta& delta) {
+  ++deltas_processed_;
+  changes_processed_ += static_cast<int64_t>(delta.changes.size());
+  for (const GraphChange& change : delta.changes) {
+    for (GraphSourceNode* source : sources_) {
+      source->HandleChange(change);
+    }
+  }
+}
+
+int64_t ReteNetwork::TotalEmittedEntries() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) total += node->emitted_entries();
+  return total;
+}
+
+size_t ReteNetwork::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& node : nodes_) bytes += node->ApproxMemoryBytes();
+  return bytes;
+}
+
+std::string ReteNetwork::DebugString() const {
+  std::ostringstream os;
+  for (const auto& node : nodes_) {
+    os << node->DebugString() << "  mem=" << node->ApproxMemoryBytes()
+       << "B emitted=" << node->emitted_entries() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pgivm

@@ -1,0 +1,79 @@
+#ifndef PGIVM_RETE_NETWORK_H_
+#define PGIVM_RETE_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "rete/input_node.h"
+#include "rete/node.h"
+#include "rete/production_node.h"
+
+namespace pgivm {
+
+/// One compiled Rete network: owns its nodes, routes graph deltas into the
+/// source nodes, and exposes the production (view) root.
+///
+/// Lifecycle: the builder wires the nodes bottom-up; Attach() then (a) emits
+/// structural initial output (key-less aggregates), (b) feeds the current
+/// graph content through the source nodes, and (c) subscribes to the graph.
+/// Detach() (or destruction) unsubscribes.
+class ReteNetwork : public GraphListener {
+ public:
+  ReteNetwork() = default;
+  ~ReteNetwork() override;
+
+  ReteNetwork(const ReteNetwork&) = delete;
+  ReteNetwork& operator=(const ReteNetwork&) = delete;
+
+  /// Transfers ownership of `node` into the network; returns the raw
+  /// pointer for wiring. Nodes must be added in topological (bottom-up)
+  /// order — EmitInitial relies on it.
+  template <typename NodeT>
+  NodeT* Add(std::unique_ptr<NodeT> node) {
+    NodeT* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  void RegisterSource(GraphSourceNode* source) {
+    sources_.push_back(source);
+  }
+  void SetProduction(ProductionNode* production) { production_ = production; }
+
+  ProductionNode* production() const { return production_; }
+
+  /// Starts maintaining against `graph` (see class comment).
+  void Attach(PropertyGraph* graph);
+  void Detach();
+
+  // GraphListener:
+  void OnGraphDelta(const GraphDelta& delta) override;
+
+  /// Sum of all node memories.
+  size_t ApproxMemoryBytes() const;
+
+  /// Per-node memory/diagnostic summary, one node per line.
+  std::string DebugString() const;
+
+  size_t node_count() const { return nodes_.size(); }
+  int64_t deltas_processed() const { return deltas_processed_; }
+  int64_t changes_processed() const { return changes_processed_; }
+
+  /// Lifetime sum of delta entries emitted by all nodes — the total
+  /// propagation volume through this network (the FGN experiments' metric).
+  int64_t TotalEmittedEntries() const;
+
+ private:
+  std::vector<std::unique_ptr<ReteNode>> nodes_;
+  std::vector<GraphSourceNode*> sources_;
+  ProductionNode* production_ = nullptr;
+  PropertyGraph* attached_graph_ = nullptr;
+  int64_t deltas_processed_ = 0;
+  int64_t changes_processed_ = 0;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_NETWORK_H_

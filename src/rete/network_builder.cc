@@ -1,0 +1,261 @@
+#include "rete/network_builder.h"
+
+#include "rete/aggregate_node.h"
+#include "rete/antijoin_node.h"
+#include "rete/distinct_node.h"
+#include "rete/filter_node.h"
+#include "rete/join_node.h"
+#include "rete/path_node.h"
+#include "rete/project_node.h"
+#include "rete/semijoin_node.h"
+#include "rete/union_node.h"
+#include "rete/unnest_node.h"
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+class Builder {
+ public:
+  Builder(ReteNetwork* network, const PropertyGraph* graph,
+          const NetworkOptions& options)
+      : network_(network), graph_(graph), options_(options) {}
+
+  Result<ReteNode*> Build(const OpPtr& op) {
+    switch (op->kind) {
+      case OpKind::kUnit: {
+        auto* node = network_->Add(std::make_unique<UnitInputNode>());
+        network_->RegisterSource(node);
+        return node;
+      }
+
+      case OpKind::kGetVertices: {
+        auto* node = network_->Add(std::make_unique<VertexInputNode>(
+            op->schema, graph_, op->labels, op->extracts));
+        network_->RegisterSource(node);
+        return node;
+      }
+
+      case OpKind::kGetEdges: {
+        auto* node = network_->Add(std::make_unique<EdgeInputNode>(
+            op->schema, graph_, op->edge_types,
+            op->direction == EdgeDirection::kBoth, op->src_var, op->edge_var,
+            op->dst_var, op->extracts));
+        network_->RegisterSource(node);
+        return node;
+      }
+
+      case OpKind::kPathJoin: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        Schema path_schema;
+        path_schema.Add({op->src_var, Attribute::Kind::kVertex});
+        path_schema.Add({op->dst_var, Attribute::Kind::kVertex});
+        bool emit_path = !op->path_var.empty();
+        if (emit_path) {
+          path_schema.Add({op->path_var, Attribute::Kind::kPath});
+        }
+        auto* paths = network_->Add(std::make_unique<PathInputNode>(
+            path_schema, graph_, op->edge_types,
+            op->direction == EdgeDirection::kIn, op->min_hops, op->max_hops,
+            emit_path));
+        network_->RegisterSource(paths);
+        auto* join = network_->Add(std::make_unique<JoinNode>(
+            op->schema, input->schema(), paths->schema()));
+        input->AddOutput(join, 0);
+        paths->AddOutput(join, 1);
+        return join;
+      }
+
+      case OpKind::kSelection: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(
+            BoundExpression predicate,
+            BoundExpression::Bind(op->predicate, input->schema()));
+        auto* node = network_->Add(std::make_unique<FilterNode>(
+            op->schema, std::move(predicate)));
+        input->AddOutput(node, 0);
+        return node;
+      }
+
+      case OpKind::kProjection:
+      case OpKind::kProduce: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        std::vector<BoundExpression> columns;
+        for (const auto& [name, expr] : op->projections) {
+          PGIVM_ASSIGN_OR_RETURN(
+              BoundExpression bound,
+              BoundExpression::Bind(expr, input->schema()));
+          columns.push_back(std::move(bound));
+        }
+        auto* node = network_->Add(std::make_unique<ProjectNode>(
+            op->schema, std::move(columns)));
+        input->AddOutput(node, 0);
+        return node;
+      }
+
+      case OpKind::kJoin: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
+        auto* node = network_->Add(std::make_unique<JoinNode>(
+            op->schema, left->schema(), right->schema()));
+        left->AddOutput(node, 0);
+        right->AddOutput(node, 1);
+        return node;
+      }
+
+      case OpKind::kAntiJoin: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
+        auto* node = network_->Add(std::make_unique<AntiJoinNode>(
+            op->schema, left->schema(), right->schema()));
+        left->AddOutput(node, 0);
+        right->AddOutput(node, 1);
+        return node;
+      }
+
+      case OpKind::kSemiJoin: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
+        auto* node = network_->Add(std::make_unique<SemiJoinNode>(
+            op->schema, left->schema(), right->schema()));
+        left->AddOutput(node, 0);
+        right->AddOutput(node, 1);
+        return node;
+      }
+
+      case OpKind::kLeftOuterJoin: {
+        // L ⟕ R  =  (L ⋈ R)  ∪  π_null-pad(L ▷ R).
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
+        auto* join = network_->Add(std::make_unique<JoinNode>(
+            op->schema, left->schema(), right->schema()));
+        left->AddOutput(join, 0);
+        right->AddOutput(join, 1);
+        auto* anti = network_->Add(std::make_unique<AntiJoinNode>(
+            left->schema(), left->schema(), right->schema()));
+        left->AddOutput(anti, 0);
+        right->AddOutput(anti, 1);
+        std::vector<BoundExpression> pad;
+        for (const Attribute& attr : op->schema.attributes()) {
+          ExprPtr expr = left->schema().Contains(attr.name)
+                             ? MakeVariable(attr.name)
+                             : MakeLiteral(Value::Null());
+          PGIVM_ASSIGN_OR_RETURN(BoundExpression bound,
+                                 BoundExpression::Bind(expr, left->schema()));
+          pad.push_back(std::move(bound));
+        }
+        auto* padder = network_->Add(std::make_unique<ProjectNode>(
+            op->schema, std::move(pad)));
+        anti->AddOutput(padder, 0);
+        auto* merge = network_->Add(std::make_unique<UnionNode>(op->schema));
+        join->AddOutput(merge, 0);
+        padder->AddOutput(merge, 1);
+        return merge;
+      }
+
+      case OpKind::kUnion: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
+        // Align the right input's column order with the left's.
+        ReteNode* aligned = right;
+        if (!(right->schema() == left->schema())) {
+          std::vector<BoundExpression> reorder;
+          for (const Attribute& attr : left->schema().attributes()) {
+            PGIVM_ASSIGN_OR_RETURN(
+                BoundExpression bound,
+                BoundExpression::Bind(MakeVariable(attr.name),
+                                      right->schema()));
+            reorder.push_back(std::move(bound));
+          }
+          aligned = network_->Add(std::make_unique<ProjectNode>(
+              left->schema(), std::move(reorder)));
+          right->AddOutput(aligned, 0);
+        }
+        auto* node = network_->Add(std::make_unique<UnionNode>(op->schema));
+        left->AddOutput(node, 0);
+        aligned->AddOutput(node, 1);
+        return node;
+      }
+
+      case OpKind::kDistinct: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        auto* node = network_->Add(std::make_unique<DistinctNode>(
+            op->schema));
+        input->AddOutput(node, 0);
+        return node;
+      }
+
+      case OpKind::kAggregate: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        std::vector<BoundExpression> keys;
+        for (const auto& [name, expr] : op->group_by) {
+          PGIVM_ASSIGN_OR_RETURN(
+              BoundExpression bound,
+              BoundExpression::Bind(expr, input->schema()));
+          keys.push_back(std::move(bound));
+        }
+        std::vector<AggregateSpec> specs;
+        for (const auto& [name, expr] : op->aggregates) {
+          PGIVM_ASSIGN_OR_RETURN(
+              AggregateSpec spec,
+              AggregateSpec::Make(expr, input->schema(), nullptr));
+          specs.push_back(std::move(spec));
+        }
+        auto* node = network_->Add(std::make_unique<AggregateNode>(
+            op->schema, std::move(keys), std::move(specs)));
+        input->AddOutput(node, 0);
+        return node;
+      }
+
+      case OpKind::kUnnest: {
+        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(
+            BoundExpression collection,
+            BoundExpression::Bind(op->unnest_expr, input->schema()));
+        std::vector<int> kept;
+        for (size_t i = 0; i < input->schema().size(); ++i) {
+          const std::string& name = input->schema().at(i).name;
+          bool dropped = false;
+          for (const std::string& d : op->unnest_drop_columns) {
+            if (d == name) dropped = true;
+          }
+          if (!dropped) kept.push_back(static_cast<int>(i));
+        }
+        auto* node = network_->Add(std::make_unique<UnnestNode>(
+            op->schema, std::move(collection), std::move(kept),
+            options_.fine_grained_unnest));
+        input->AddOutput(node, 0);
+        return node;
+      }
+
+      case OpKind::kExpand:
+        return Status::Internal(
+            "Expand reached the network builder; run LowerToFra first");
+    }
+    return Status::Internal(
+        StrCat("unhandled operator ", OpKindName(op->kind)));
+  }
+
+ private:
+  ReteNetwork* network_;
+  const PropertyGraph* graph_;
+  NetworkOptions options_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
+    const OpPtr& plan, const PropertyGraph* graph,
+    const NetworkOptions& options) {
+  auto network = std::make_unique<ReteNetwork>();
+  Builder builder(network.get(), graph, options);
+  PGIVM_ASSIGN_OR_RETURN(ReteNode* root, builder.Build(plan));
+  auto* production =
+      network->Add(std::make_unique<ProductionNode>(root->schema()));
+  root->AddOutput(production, 0);
+  network->SetProduction(production);
+  return network;
+}
+
+}  // namespace pgivm

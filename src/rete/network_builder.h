@@ -1,0 +1,33 @@
+#ifndef PGIVM_RETE_NETWORK_BUILDER_H_
+#define PGIVM_RETE_NETWORK_BUILDER_H_
+
+#include <memory>
+
+#include "algebra/operator.h"
+#include "graph/property_graph.h"
+#include "rete/network.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+struct NetworkOptions {
+  /// Fold unnest deltas per kept-column projection and emit element-level
+  /// differences (the FGN behaviour). Off = the E4 ablation baseline.
+  bool fine_grained_unnest = true;
+};
+
+/// Instantiates the FRA plan (paper step 4) as a Rete network over `graph`.
+/// The network is built detached; call Attach() to start maintenance.
+///
+/// Lowerings performed here:
+///  * transitive join → Join(input, PathInputNode) — the path store is the
+///    fused get-edges side of the paper's ./∗ operator;
+///  * left outer join → Join ∪ (AntiJoin → null-pad Projection);
+///  * Produce → Projection feeding the ProductionNode (the view root).
+Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
+    const OpPtr& plan, const PropertyGraph* graph,
+    const NetworkOptions& options = {});
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_NETWORK_BUILDER_H_

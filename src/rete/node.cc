@@ -1,0 +1,5 @@
+#include "rete/node.h"
+
+// ReteNode is header-only; this translation unit anchors the vtable.
+
+namespace pgivm {}  // namespace pgivm

@@ -1,0 +1,69 @@
+#ifndef PGIVM_RETE_NODE_H_
+#define PGIVM_RETE_NODE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/schema.h"
+#include "rete/delta.h"
+
+namespace pgivm {
+
+/// Base class of all Rete dataflow nodes.
+///
+/// A node receives bag deltas on numbered input ports (0 for unary nodes,
+/// 0/1 for binary ones), updates its internal memory, and emits the derived
+/// delta to its downstream subscribers. Propagation is synchronous and
+/// depth-first; networks are fan-in trees (no shared sub-networks), so no
+/// glitch handling is needed.
+class ReteNode {
+ public:
+  explicit ReteNode(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~ReteNode() = default;
+
+  ReteNode(const ReteNode&) = delete;
+  ReteNode& operator=(const ReteNode&) = delete;
+
+  /// Handles an incoming delta on `port`. The delta's tuples conform to the
+  /// upstream node's schema.
+  virtual void OnDelta(int port, const Delta& delta) = 0;
+
+  /// Publishes structurally-initial output (e.g. the single row of a
+  /// key-less aggregation over empty input). The network calls this once,
+  /// in topological order, before feeding any graph state.
+  virtual void EmitInitial() {}
+
+  /// Subscribes `node` to this node's output, delivering to its `port`.
+  void AddOutput(ReteNode* node, int port) {
+    outputs_.emplace_back(node, port);
+  }
+
+  const Schema& schema() const { return schema_; }
+
+  /// Bytes held by this node's memories (0 for stateless nodes).
+  virtual size_t ApproxMemoryBytes() const { return 0; }
+
+  /// Short human-readable identity for diagnostics ("Join[p]", ...).
+  virtual std::string DebugString() const = 0;
+
+  /// Lifetime count of tuple-delta entries this node has emitted.
+  int64_t emitted_entries() const { return emitted_entries_; }
+
+ protected:
+  /// Forwards `delta` to every subscriber (no-op for empty deltas).
+  void Emit(const Delta& delta) {
+    if (delta.empty()) return;
+    emitted_entries_ += static_cast<int64_t>(delta.size());
+    for (auto& [node, port] : outputs_) node->OnDelta(port, delta);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::pair<ReteNode*, int>> outputs_;
+  int64_t emitted_entries_ = 0;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_NODE_H_

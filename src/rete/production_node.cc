@@ -1,0 +1,38 @@
+#include "rete/production_node.h"
+
+#include <algorithm>
+
+namespace pgivm {
+
+void ProductionNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  Delta net = Normalize(delta);
+  if (net.empty()) return;
+  for (const DeltaEntry& entry : net) {
+    results_.Apply(entry.tuple, entry.multiplicity);
+  }
+  for (ViewChangeListener* listener : listeners_) {
+    listener->OnViewDelta(net);
+  }
+  Emit(net);  // Views can be chained (used by tests).
+}
+
+std::vector<Tuple> ProductionNode::SortedSnapshot() const {
+  std::vector<Tuple> rows;
+  rows.reserve(static_cast<size_t>(results_.total_count()));
+  for (const auto& [tuple, count] : results_.counts()) {
+    for (int64_t i = 0; i < count; ++i) rows.push_back(tuple);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    return Tuple::Compare(a, b) < 0;
+  });
+  return rows;
+}
+
+void ProductionNode::RemoveListener(ViewChangeListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+}  // namespace pgivm

@@ -1,0 +1,51 @@
+#ifndef PGIVM_RETE_PRODUCTION_NODE_H_
+#define PGIVM_RETE_PRODUCTION_NODE_H_
+
+#include <vector>
+
+#include "rete/node.h"
+
+namespace pgivm {
+
+/// Observer of a materialized view's changes. `delta` is normalized (tuples
+/// coalesced, zero entries dropped) and describes the net effect of one
+/// graph delta on the result bag.
+class ViewChangeListener {
+ public:
+  virtual ~ViewChangeListener() = default;
+  virtual void OnViewDelta(const Delta& delta) = 0;
+};
+
+/// Network root: materializes the result bag of the view and fans change
+/// notifications out to listeners. Snapshot() exposes the current rows.
+class ProductionNode : public ReteNode {
+ public:
+  explicit ProductionNode(Schema schema) : ReteNode(std::move(schema)) {}
+
+  void OnDelta(int port, const Delta& delta) override;
+
+  /// Current result bag (tuple -> multiplicity).
+  const Bag& results() const { return results_; }
+
+  /// Rows with multiplicities expanded, sorted for determinism.
+  std::vector<Tuple> SortedSnapshot() const;
+
+  void AddListener(ViewChangeListener* listener) {
+    listeners_.push_back(listener);
+  }
+  void RemoveListener(ViewChangeListener* listener);
+
+  size_t ApproxMemoryBytes() const override {
+    return results_.ApproxMemoryBytes();
+  }
+
+  std::string DebugString() const override { return "Production"; }
+
+ private:
+  Bag results_;
+  std::vector<ViewChangeListener*> listeners_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_PRODUCTION_NODE_H_

@@ -1,0 +1,69 @@
+#include "rete/tuple.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+size_t HashValues(const std::vector<Value>& values) {
+  size_t seed = 0x74757065;  // "tupe"
+  for (const Value& v : values) HashCombine(seed, v.Hash());
+  return seed;
+}
+
+}  // namespace
+
+Tuple::Tuple(std::vector<Value> values)
+    : values_(std::make_shared<const std::vector<Value>>(std::move(values))),
+      hash_(HashValues(*values_)) {}
+
+Tuple Tuple::Project(const std::vector<int>& indices) const {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(at(static_cast<size_t>(i)));
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Concat(const Tuple& suffix) const {
+  std::vector<Value> out = *values_;
+  out.insert(out.end(), suffix.values_->begin(), suffix.values_->end());
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Append(Value v) const {
+  std::vector<Value> out = *values_;
+  out.push_back(std::move(v));
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::WithColumn(size_t i, Value v) const {
+  std::vector<Value> out = *values_;
+  out[i] = std::move(v);
+  return Tuple(std::move(out));
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < size(); ++i) {
+    if (i > 0) os << ", ";
+    os << at(i).ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+int Tuple::Compare(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = Value::Compare(a.at(i), b.at(i));
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace pgivm

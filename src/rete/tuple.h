@@ -1,0 +1,60 @@
+#ifndef PGIVM_RETE_TUPLE_H_
+#define PGIVM_RETE_TUPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "value/value.h"
+
+namespace pgivm {
+
+/// Immutable row of Values with a cached hash. Copies are cheap (shared
+/// storage) — node memories hold millions of copies in large networks.
+class Tuple {
+ public:
+  /// Empty tuple (the Unit relation's single row).
+  Tuple() : Tuple(std::vector<Value>{}) {}
+
+  explicit Tuple(std::vector<Value> values);
+
+  size_t size() const { return values_->size(); }
+  const Value& at(size_t i) const { return (*values_)[i]; }
+  const std::vector<Value>& values() const { return *values_; }
+
+  /// New tuple holding the columns at `indices`, in that order.
+  Tuple Project(const std::vector<int>& indices) const;
+
+  /// New tuple: this tuple's columns followed by `suffix`'s.
+  Tuple Concat(const Tuple& suffix) const;
+
+  /// New tuple with one extra column appended.
+  Tuple Append(Value v) const;
+
+  /// New tuple with column `i` replaced.
+  Tuple WithColumn(size_t i, Value v) const;
+
+  size_t Hash() const { return hash_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    if (a.hash_ != b.hash_ || a.size() != b.size()) return false;
+    return *a.values_ == *b.values_;
+  }
+
+  /// Lexicographic total order (for deterministic snapshots).
+  static int Compare(const Tuple& a, const Tuple& b);
+
+ private:
+  std::shared_ptr<const std::vector<Value>> values_;
+  size_t hash_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_RETE_TUPLE_H_

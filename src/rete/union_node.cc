@@ -1,0 +1,5 @@
+#include "rete/union_node.h"
+
+// UnionNode is header-only; this translation unit anchors the vtable.
+
+namespace pgivm {}  // namespace pgivm

@@ -1,0 +1,35 @@
+#include "support/rng.h"
+
+namespace pgivm {
+
+uint64_t Rng::Next() {
+  // splitmix64: passes BigCrush, two multiplies and shifts, fully portable.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection-free modulo is fine here: generators do not need perfect
+  // uniformity, only determinism.
+  return Next() % bound;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace pgivm

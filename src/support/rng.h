@@ -1,0 +1,36 @@
+#ifndef PGIVM_SUPPORT_RNG_H_
+#define PGIVM_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace pgivm {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64 + xoshiro-ish
+/// mixing). Used by workload generators and property tests so runs are
+/// reproducible across platforms, unlike std::mt19937 distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_SUPPORT_RNG_H_

@@ -1,0 +1,38 @@
+#ifndef PGIVM_SUPPORT_STRING_UTIL_H_
+#define PGIVM_SUPPORT_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgivm {
+
+/// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True iff `s` starts with / ends with / contains `affix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+/// ASCII-lowercases a copy of `s`.
+std::string AsciiLower(std::string_view s);
+
+/// Combines a hash value into a running seed (boost::hash_combine recipe).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace pgivm
+
+#endif  // PGIVM_SUPPORT_STRING_UTIL_H_

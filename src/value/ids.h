@@ -1,0 +1,18 @@
+#ifndef PGIVM_VALUE_IDS_H_
+#define PGIVM_VALUE_IDS_H_
+
+#include <cstdint>
+
+namespace pgivm {
+
+/// Dense, monotonically assigned element identifiers. Ids are never reused
+/// after deletion, so an id uniquely names an element for the lifetime of a
+/// PropertyGraph (a property the Rete engine relies on).
+using VertexId = int64_t;
+using EdgeId = int64_t;
+
+inline constexpr int64_t kInvalidId = -1;
+
+}  // namespace pgivm
+
+#endif  // PGIVM_VALUE_IDS_H_

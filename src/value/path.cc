@@ -1,0 +1,58 @@
+#include "value/path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+Path::Path(std::vector<VertexId> vertices, std::vector<EdgeId> edges)
+    : vertices_(std::move(vertices)), edges_(std::move(edges)) {
+  assert(!vertices_.empty());
+  assert(vertices_.size() == edges_.size() + 1);
+}
+
+Path Path::Single(VertexId v) { return Path({v}, {}); }
+
+bool Path::ContainsEdge(EdgeId e) const {
+  return std::find(edges_.begin(), edges_.end(), e) != edges_.end();
+}
+
+bool Path::ContainsVertex(VertexId v) const {
+  return std::find(vertices_.begin(), vertices_.end(), v) != vertices_.end();
+}
+
+Path Path::Extended(EdgeId e, VertexId v) const {
+  Path out = *this;
+  out.edges_.push_back(e);
+  out.vertices_.push_back(v);
+  return out;
+}
+
+std::string Path::ToString() const {
+  std::ostringstream os;
+  os << "<" << vertices_[0];
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    os << "-[e" << edges_[i] << "]->" << vertices_[i + 1];
+  }
+  os << ">";
+  return os.str();
+}
+
+size_t Path::Hash() const {
+  size_t seed = 0x70617468;  // "path"
+  for (VertexId v : vertices_) HashCombine(seed, std::hash<int64_t>{}(v));
+  for (EdgeId e : edges_) HashCombine(seed, std::hash<int64_t>{}(e));
+  return seed;
+}
+
+int Path::Compare(const Path& a, const Path& b) {
+  if (a.length() != b.length()) return a.length() < b.length() ? -1 : 1;
+  if (a.vertices_ != b.vertices_) return a.vertices_ < b.vertices_ ? -1 : 1;
+  if (a.edges_ != b.edges_) return a.edges_ < b.edges_ ? -1 : 1;
+  return 0;
+}
+
+}  // namespace pgivm

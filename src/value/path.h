@@ -1,0 +1,64 @@
+#ifndef PGIVM_VALUE_PATH_H_
+#define PGIVM_VALUE_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "value/ids.h"
+
+namespace pgivm {
+
+/// An immutable graph path: an alternating sequence of vertices and edges,
+/// stored as `vertices()` (n+1 entries) and `edges()` (n entries).
+///
+/// Paths are the only *ordered* collection in the pgivm data model. Per the
+/// paper's ORD compromise they are **atomic**: a maintained view never edits
+/// a path in place — it deletes the old path value and inserts a new one.
+/// A zero-length path (single vertex, no edges) is valid.
+class Path {
+ public:
+  Path() = default;
+
+  /// Builds a path. Requires vertices.size() == edges.size() + 1 and at
+  /// least one vertex (asserted).
+  Path(std::vector<VertexId> vertices, std::vector<EdgeId> edges);
+
+  /// Single-vertex (zero-length) path.
+  static Path Single(VertexId v);
+
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  const std::vector<EdgeId>& edges() const { return edges_; }
+
+  /// Number of edges (Cypher's length(p)).
+  size_t length() const { return edges_.size(); }
+
+  VertexId source() const { return vertices_.front(); }
+  VertexId target() const { return vertices_.back(); }
+
+  bool ContainsEdge(EdgeId e) const;
+  bool ContainsVertex(VertexId v) const;
+
+  /// Returns a copy of this path extended by one hop over `e` to `v`.
+  Path Extended(EdgeId e, VertexId v) const;
+
+  /// Renders e.g. "<1-[e0]->2-[e3]->5>" (vertex ids and edge ids).
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.vertices_ == b.vertices_ && a.edges_ == b.edges_;
+  }
+
+  /// Total order: by length, then lexicographic vertices, then edges.
+  static int Compare(const Path& a, const Path& b);
+
+ private:
+  std::vector<VertexId> vertices_;
+  std::vector<EdgeId> edges_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_VALUE_PATH_H_

@@ -1,0 +1,134 @@
+#include "workload/railway.h"
+
+namespace pgivm {
+
+std::string RailwayGenerator::PosLengthQuery() {
+  return "MATCH (s:Segment) WHERE s.length <= 0 RETURN s";
+}
+
+std::string RailwayGenerator::SwitchMonitoredQuery() {
+  return "MATCH (sw:Switch) "
+         "OPTIONAL MATCH (sw)-[m:monitoredBy]->(:Sensor) "
+         "WITH sw, m WHERE m IS NULL RETURN sw";
+}
+
+std::string RailwayGenerator::RouteSensorQuery() {
+  return "MATCH (r:Route)-[:follows]->(swp:SwitchPosition)"
+         "-[:target]->(sw:Switch)-[:monitoredBy]->(s:Sensor) "
+         "OPTIONAL MATCH (r)-[req:requires]->(s) "
+         "WITH r, sw, s, req WHERE req IS NULL "
+         "RETURN r, sw, s";
+}
+
+std::string RailwayGenerator::SwitchSetQuery() {
+  return "MATCH (r:Route)-[:follows]->(swp:SwitchPosition)"
+         "-[:target]->(sw:Switch) "
+         "WHERE swp.position <> sw.position "
+         "RETURN r, sw, swp";
+}
+
+void RailwayGenerator::Populate(PropertyGraph* graph) {
+  graph->BeginBatch();
+  for (int64_t r = 0; r < config_.routes; ++r) {
+    VertexId route = graph->AddVertex({"Route"});
+    routes_.push_back(route);
+    VertexId semaphore = graph->AddVertex(
+        {"Semaphore"}, {{"signal", Value::String("GO")}});
+    (void)graph->AddEdge(route, semaphore, "entry").value();
+
+    for (int64_t s = 0; s < config_.switches_per_route; ++s) {
+      int64_t prescribed = rng_.NextInRange(0, 3);
+      bool switch_fault = rng_.NextBool(config_.fault_rate);
+      VertexId sw = graph->AddVertex(
+          {"Switch"},
+          {{"position", Value::Int(switch_fault ? (prescribed + 1) % 4
+                                                : prescribed)}});
+      switches_.push_back(sw);
+      VertexId swp = graph->AddVertex(
+          {"SwitchPosition"}, {{"position", Value::Int(prescribed)}});
+      switch_positions_.push_back(swp);
+      (void)graph->AddEdge(route, swp, "follows").value();
+      (void)graph->AddEdge(swp, sw, "target").value();
+
+      VertexId sensor = graph->AddVertex({"Sensor"});
+      sensors_.push_back(sensor);
+      // Fault: unmonitored switch.
+      if (!rng_.NextBool(config_.fault_rate)) {
+        (void)graph->AddEdge(sw, sensor, "monitoredBy").value();
+      }
+      // Fault: route does not require the sensor of a followed switch.
+      if (!rng_.NextBool(config_.fault_rate)) {
+        (void)graph->AddEdge(route, sensor, "requires").value();
+      }
+
+      VertexId previous_segment = kInvalidId;
+      for (int64_t g = 0; g < config_.segments_per_sensor; ++g) {
+        bool length_fault = rng_.NextBool(config_.fault_rate);
+        VertexId segment = graph->AddVertex(
+            {"Segment"},
+            {{"length",
+              Value::Int(length_fault ? -rng_.NextInRange(0, 10)
+                                      : rng_.NextInRange(1, 1000))}});
+        segments_.push_back(segment);
+        (void)graph->AddEdge(sensor, segment, "monitors").value();
+        if (previous_segment != kInvalidId) {
+          (void)graph->AddEdge(previous_segment, segment, "connectsTo")
+              .value();
+        }
+        previous_segment = segment;
+      }
+    }
+  }
+  graph->CommitBatch();
+}
+
+void RailwayGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
+  uint64_t pick = rng_.NextBelow(100);
+  graph->BeginBatch();
+  if (pick < 30 && !segments_.empty()) {
+    // Repair or break a segment length.
+    VertexId segment = segments_[rng_.NextBelow(segments_.size())];
+    bool brk = rng_.NextBool(0.4);
+    (void)graph->SetVertexProperty(
+        segment, "length",
+        Value::Int(brk ? -rng_.NextInRange(0, 10)
+                       : rng_.NextInRange(1, 1000)));
+  } else if (pick < 55 && !switches_.empty()) {
+    // Flip a switch's actual position (SwitchSet repair/break).
+    VertexId sw = switches_[rng_.NextBelow(switches_.size())];
+    (void)graph->SetVertexProperty(sw, "position",
+                                   Value::Int(rng_.NextInRange(0, 3)));
+  } else if (pick < 75 && !switches_.empty() && !sensors_.empty()) {
+    // Toggle a monitoredBy edge (SwitchMonitored repair/break).
+    VertexId sw = switches_[rng_.NextBelow(switches_.size())];
+    bool removed = false;
+    for (EdgeId e : graph->OutEdges(sw)) {
+      if (graph->EdgeType(e) == "monitoredBy") {
+        (void)graph->RemoveEdge(e);
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) {
+      VertexId sensor = sensors_[rng_.NextBelow(sensors_.size())];
+      (void)graph->AddEdge(sw, sensor, "monitoredBy");
+    }
+  } else if (!routes_.empty() && !sensors_.empty()) {
+    // Toggle a requires edge (RouteSensor repair/break).
+    VertexId route = routes_[rng_.NextBelow(routes_.size())];
+    std::vector<EdgeId> requires_edges;
+    for (EdgeId e : graph->OutEdges(route)) {
+      if (graph->EdgeType(e) == "requires") requires_edges.push_back(e);
+    }
+    if (!requires_edges.empty() && rng_.NextBool(0.5)) {
+      (void)graph->RemoveEdge(
+          requires_edges[rng_.NextBelow(requires_edges.size())]);
+    } else {
+      VertexId sensor = sensors_[rng_.NextBelow(sensors_.size())];
+      (void)graph->AddEdge(route, sensor, "requires");
+    }
+  }
+  graph->CommitBatch();
+}
+
+}  // namespace pgivm

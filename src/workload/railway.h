@@ -1,0 +1,80 @@
+#ifndef PGIVM_WORKLOAD_RAILWAY_H_
+#define PGIVM_WORKLOAD_RAILWAY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "support/rng.h"
+
+namespace pgivm {
+
+/// Train-Benchmark-flavoured railway model generator (paper refs [30, 31]).
+///
+/// The Train Benchmark measures continuous well-formedness validation: a
+/// model with injected faults is repeatedly repaired/re-broken while
+/// constraint queries are re-checked. We synthesize the same shape:
+///
+/// Vertices: (:Route), (:SwitchPosition {position}), (:Switch {position}),
+///           (:Sensor), (:Segment {length}), (:Semaphore {signal}).
+/// Edges:    (:Route)-[:follows]->(:SwitchPosition),
+///           (:SwitchPosition)-[:target]->(:Switch),
+///           (:Switch)-[:monitoredBy]->(:Sensor),
+///           (:Route)-[:requires]->(:Sensor),
+///           (:Route)-[:entry]->(:Semaphore),
+///           (:Segment)-[:connectsTo]->(:Segment),
+///           (:Sensor)-[:monitors]->(:Segment).
+///
+/// Faults injected at generation and by the update stream:
+///  * PosLength: segments with non-positive length;
+///  * SwitchMonitored: switches without a monitoredBy edge;
+///  * RouteSensor: a followed switch's sensor missing from the route's
+///    requires set;
+///  * SwitchSet: switch position differing from the route's prescribed
+///    switch position.
+struct RailwayConfig {
+  int64_t routes = 20;
+  int64_t switches_per_route = 5;
+  int64_t segments_per_sensor = 3;
+  /// Probability that a constraint-relevant element is generated faulty.
+  double fault_rate = 0.1;
+  uint64_t seed = 7;
+};
+
+class RailwayGenerator {
+ public:
+  explicit RailwayGenerator(const RailwayConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Builds the railway model with injected faults.
+  void Populate(PropertyGraph* graph);
+
+  /// Applies one random repair-or-break operation (Train Benchmark's
+  /// continuous validation loop).
+  void ApplyRandomUpdate(PropertyGraph* graph);
+
+  /// The well-formedness constraint queries, in the supported fragment.
+  /// Each returns the *violations* — ideally empty on a healthy model.
+  static std::string PosLengthQuery();
+  static std::string SwitchMonitoredQuery();
+  static std::string RouteSensorQuery();
+  static std::string SwitchSetQuery();
+
+  const std::vector<VertexId>& switches() const { return switches_; }
+  const std::vector<VertexId>& segments() const { return segments_; }
+  const std::vector<VertexId>& routes() const { return routes_; }
+  const std::vector<VertexId>& sensors() const { return sensors_; }
+
+ private:
+  RailwayConfig config_;
+  Rng rng_;
+  std::vector<VertexId> routes_;
+  std::vector<VertexId> switches_;
+  std::vector<VertexId> switch_positions_;
+  std::vector<VertexId> sensors_;
+  std::vector<VertexId> segments_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_WORKLOAD_RAILWAY_H_

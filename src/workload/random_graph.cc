@@ -1,0 +1,120 @@
+#include "workload/random_graph.h"
+
+#include <algorithm>
+
+namespace pgivm {
+
+Value RandomGraphGenerator::RandomScalar() {
+  return Value::Int(rng_.NextInRange(0, config_.value_range - 1));
+}
+
+VertexId RandomGraphGenerator::RandomVertex() {
+  return vertices_[rng_.NextBelow(vertices_.size())];
+}
+
+void RandomGraphGenerator::Populate(PropertyGraph* graph) {
+  graph->BeginBatch();
+  for (int64_t i = 0; i < config_.initial_vertices; ++i) {
+    std::vector<std::string> labels;
+    for (const std::string& label : config_.labels) {
+      if (rng_.NextBool(0.4)) labels.push_back(label);
+    }
+    ValueMap props;
+    for (const std::string& key : config_.keys) {
+      if (key == "tags") {
+        ValueList tags;
+        size_t n = rng_.NextBelow(4);
+        for (size_t t = 0; t < n; ++t) tags.push_back(RandomScalar());
+        props[key] = Value::List(std::move(tags));
+      } else if (rng_.NextBool(0.6)) {
+        props[key] = RandomScalar();
+      }
+    }
+    vertices_.push_back(graph->AddVertex(std::move(labels), std::move(props)));
+  }
+  for (int64_t i = 0; i < config_.initial_edges && !vertices_.empty(); ++i) {
+    VertexId src = RandomVertex();
+    VertexId dst = RandomVertex();
+    const std::string& type = config_.types[rng_.NextBelow(
+        config_.types.size())];
+    ValueMap props;
+    if (rng_.NextBool(0.5)) props["w"] = RandomScalar();
+    Result<EdgeId> edge = graph->AddEdge(src, dst, type, std::move(props));
+    if (edge.ok()) edges_.push_back(edge.value());
+  }
+  graph->CommitBatch();
+}
+
+void RandomGraphGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
+  uint64_t pick = rng_.NextBelow(100);
+  graph->BeginBatch();
+  if (pick < 12) {
+    // Add a vertex.
+    std::vector<std::string> labels;
+    for (const std::string& label : config_.labels) {
+      if (rng_.NextBool(0.4)) labels.push_back(label);
+    }
+    vertices_.push_back(graph->AddVertex(std::move(labels)));
+  } else if (pick < 22 && !vertices_.empty()) {
+    // Detach-remove a vertex.
+    size_t i = rng_.NextBelow(vertices_.size());
+    (void)graph->DetachRemoveVertex(vertices_[i]);
+    vertices_.erase(vertices_.begin() + static_cast<ptrdiff_t>(i));
+  } else if (pick < 42 && !vertices_.empty()) {
+    // Add an edge.
+    const std::string& type =
+        config_.types[rng_.NextBelow(config_.types.size())];
+    Result<EdgeId> edge =
+        graph->AddEdge(RandomVertex(), RandomVertex(), type);
+    if (edge.ok()) edges_.push_back(edge.value());
+  } else if (pick < 57 && !edges_.empty()) {
+    // Remove an edge (skip already-gone ids).
+    size_t i = rng_.NextBelow(edges_.size());
+    (void)graph->RemoveEdge(edges_[i]);
+    edges_.erase(edges_.begin() + static_cast<ptrdiff_t>(i));
+  } else if (pick < 72 && !vertices_.empty()) {
+    // Scalar property write or erase.
+    VertexId v = RandomVertex();
+    const std::string& key =
+        config_.keys[rng_.NextBelow(config_.keys.size() - 1)];  // not tags
+    Value value = rng_.NextBool(0.2) ? Value::Null() : RandomScalar();
+    (void)graph->SetVertexProperty(v, key, std::move(value));
+  } else if (pick < 85 && !vertices_.empty()) {
+    // List element append/remove on the "tags" collection.
+    VertexId v = RandomVertex();
+    Value tags = graph->GetVertexProperty(v, "tags");
+    if (tags.is_list() && !tags.AsList().empty() && rng_.NextBool(0.5)) {
+      const ValueList& list = tags.AsList();
+      (void)graph->ListRemoveFirst(v, "tags",
+                                   list[rng_.NextBelow(list.size())]);
+    } else if (tags.is_list() || tags.is_null()) {
+      (void)graph->ListAppend(v, "tags", RandomScalar());
+    }
+  } else if (!vertices_.empty()) {
+    // Label add/remove.
+    VertexId v = RandomVertex();
+    const std::string& label =
+        config_.labels[rng_.NextBelow(config_.labels.size())];
+    if (graph->VertexHasLabel(v, label)) {
+      (void)graph->RemoveVertexLabel(v, label);
+    } else {
+      (void)graph->AddVertexLabel(v, label);
+    }
+  }
+  graph->CommitBatch();
+
+  // Compact dead ids occasionally so random picks stay mostly live.
+  if (rng_.NextBelow(32) == 0) {
+    vertices_.erase(std::remove_if(vertices_.begin(), vertices_.end(),
+                                   [graph](VertexId v) {
+                                     return !graph->HasVertex(v);
+                                   }),
+                    vertices_.end());
+    edges_.erase(std::remove_if(
+                     edges_.begin(), edges_.end(),
+                     [graph](EdgeId e) { return !graph->HasEdge(e); }),
+                 edges_.end());
+  }
+}
+
+}  // namespace pgivm

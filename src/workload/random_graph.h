@@ -1,0 +1,51 @@
+#ifndef PGIVM_WORKLOAD_RANDOM_GRAPH_H_
+#define PGIVM_WORKLOAD_RANDOM_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "support/rng.h"
+
+namespace pgivm {
+
+/// Random property graph + random update stream, used by the differential
+/// (fuzz) tests: after every update, the Rete views must equal a fresh
+/// baseline evaluation.
+struct RandomGraphConfig {
+  int64_t initial_vertices = 30;
+  int64_t initial_edges = 60;
+  uint64_t seed = 1;
+  std::vector<std::string> labels = {"A", "B", "C"};
+  std::vector<std::string> types = {"R", "S"};
+  std::vector<std::string> keys = {"x", "y", "tags"};
+  int64_t value_range = 5;  // property values drawn from [0, value_range)
+};
+
+class RandomGraphGenerator {
+ public:
+  explicit RandomGraphGenerator(const RandomGraphConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  void Populate(PropertyGraph* graph);
+
+  /// Applies one random mutation: vertex/edge insertion or deletion,
+  /// scalar property write/erase, list-property element append/removal,
+  /// or label add/remove. Never fails (skips impossible choices).
+  void ApplyRandomUpdate(PropertyGraph* graph);
+
+  const std::vector<VertexId>& live_vertices() const { return vertices_; }
+
+ private:
+  Value RandomScalar();
+  VertexId RandomVertex();
+
+  RandomGraphConfig config_;
+  Rng rng_;
+  std::vector<VertexId> vertices_;
+  std::vector<EdgeId> edges_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_WORKLOAD_RANDOM_GRAPH_H_

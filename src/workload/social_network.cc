@@ -1,0 +1,163 @@
+#include "workload/social_network.h"
+
+#include <algorithm>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+const std::vector<std::string>& SocialNetworkGenerator::Languages() {
+  static const auto* langs = new std::vector<std::string>{
+      "en", "de", "fr", "hu", "es", "nl", "pt", "it"};
+  return *langs;
+}
+
+std::string SocialNetworkGenerator::RandomLanguage() {
+  return Languages()[rng_.NextBelow(Languages().size())];
+}
+
+VertexId SocialNetworkGenerator::RandomMessage() {
+  size_t total = posts_.size() + comments_.size();
+  size_t i = rng_.NextBelow(total);
+  return i < posts_.size() ? posts_[i] : comments_[i - posts_.size()];
+}
+
+VertexId SocialNetworkGenerator::AddReply(PropertyGraph* graph,
+                                          VertexId parent) {
+  VertexId comment = graph->AddVertex(
+      {"Comm"},
+      {{"lang", Value::String(RandomLanguage())},
+       {"length", Value::Int(rng_.NextInRange(5, 500))}});
+  comments_.push_back(comment);
+  (void)graph->AddEdge(parent, comment, "REPLY").value();
+  if (!persons_.empty()) {
+    VertexId author = persons_[rng_.NextBelow(persons_.size())];
+    (void)graph->AddEdge(comment, author, "HAS_CREATOR").value();
+  }
+  return comment;
+}
+
+void SocialNetworkGenerator::Populate(PropertyGraph* graph) {
+  graph->BeginBatch();
+  for (int64_t i = 0; i < config_.persons; ++i) {
+    ValueList speaks;
+    size_t language_count = 1 + rng_.NextBelow(3);
+    for (size_t l = 0; l < language_count; ++l) {
+      speaks.push_back(Value::String(RandomLanguage()));
+    }
+    std::sort(speaks.begin(), speaks.end());
+    speaks.erase(std::unique(speaks.begin(), speaks.end()), speaks.end());
+    persons_.push_back(graph->AddVertex(
+        {"Person"},
+        {{"name", Value::String(StrCat("person", i))},
+         {"country",
+          Value::Int(static_cast<int64_t>(rng_.NextBelow(20)))},
+         {"speaks", Value::List(std::move(speaks))}}));
+  }
+  graph->CommitBatch();
+
+  graph->BeginBatch();
+  for (VertexId person : persons_) {
+    for (int64_t k = 0; k < config_.knows_per_person; ++k) {
+      VertexId other = persons_[rng_.NextBelow(persons_.size())];
+      if (other == person) continue;
+      (void)graph->AddEdge(person, other, "KNOWS").value();
+    }
+  }
+  graph->CommitBatch();
+
+  graph->BeginBatch();
+  for (VertexId person : persons_) {
+    for (int64_t p = 0; p < config_.posts_per_person; ++p) {
+      VertexId post = graph->AddVertex(
+          {"Post"},
+          {{"lang", Value::String(RandomLanguage())},
+           {"length", Value::Int(rng_.NextInRange(10, 2000))}});
+      posts_.push_back(post);
+      (void)graph->AddEdge(post, person, "HAS_CREATOR").value();
+    }
+  }
+  graph->CommitBatch();
+
+  graph->BeginBatch();
+  for (VertexId post : posts_) {
+    // Grow a reply tree below the post: each comment replies either to the
+    // post or to an earlier comment in the same tree (bounded depth).
+    std::vector<std::pair<VertexId, int64_t>> frontier{{post, 0}};
+    for (int64_t c = 0; c < config_.comments_per_post; ++c) {
+      auto [parent, depth] = frontier[rng_.NextBelow(frontier.size())];
+      if (depth >= config_.max_reply_depth) continue;
+      VertexId comment = AddReply(graph, parent);
+      frontier.emplace_back(comment, depth + 1);
+    }
+  }
+  graph->CommitBatch();
+
+  graph->BeginBatch();
+  for (VertexId person : persons_) {
+    for (VertexId post : posts_) {
+      if (rng_.NextBool(config_.like_probability /
+                        static_cast<double>(config_.persons))) {
+        (void)graph->AddEdge(person, post, "LIKES").value();
+      }
+    }
+  }
+  graph->CommitBatch();
+}
+
+void SocialNetworkGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
+  uint64_t pick = rng_.NextBelow(100);
+  graph->BeginBatch();
+  if (pick < 35) {
+    // New reply comment under a random message.
+    AddReply(graph, RandomMessage());
+  } else if (pick < 50) {
+    // Language flip on a random message (touches maintained predicates).
+    VertexId message = RandomMessage();
+    (void)graph->SetVertexProperty(message, "lang",
+                                   Value::String(RandomLanguage()));
+  } else if (pick < 65 && !persons_.empty()) {
+    // New like.
+    VertexId person = persons_[rng_.NextBelow(persons_.size())];
+    (void)graph->AddEdge(person, RandomMessage(), "LIKES");
+  } else if (pick < 75 && persons_.size() >= 2) {
+    // New knows edge.
+    VertexId a = persons_[rng_.NextBelow(persons_.size())];
+    VertexId b = persons_[rng_.NextBelow(persons_.size())];
+    if (a != b) (void)graph->AddEdge(a, b, "KNOWS");
+  } else if (pick < 85 && !persons_.empty()) {
+    // Fine-grained profile update: append or remove a spoken language.
+    VertexId person = persons_[rng_.NextBelow(persons_.size())];
+    std::string lang = RandomLanguage();
+    Value speaks = graph->GetVertexProperty(person, "speaks");
+    bool has = false;
+    if (speaks.is_list()) {
+      for (const Value& v : speaks.AsList()) {
+        if (v.is_string() && v.AsString() == lang) has = true;
+      }
+    }
+    if (has && speaks.AsList().size() > 1) {
+      (void)graph->ListRemoveFirst(person, "speaks", Value::String(lang));
+    } else if (!has) {
+      (void)graph->ListAppend(person, "speaks", Value::String(lang));
+    }
+  } else if (!comments_.empty()) {
+    // Delete a random leaf comment (no replies below it).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      size_t i = rng_.NextBelow(comments_.size());
+      VertexId comment = comments_[i];
+      if (!graph->HasVertex(comment)) continue;
+      bool leaf = true;
+      for (EdgeId e : graph->OutEdges(comment)) {
+        if (graph->EdgeType(e) == "REPLY") leaf = false;
+      }
+      if (!leaf) continue;
+      (void)graph->DetachRemoveVertex(comment);
+      comments_.erase(comments_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  graph->CommitBatch();
+}
+
+}  // namespace pgivm

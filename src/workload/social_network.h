@@ -1,0 +1,75 @@
+#ifndef PGIVM_WORKLOAD_SOCIAL_NETWORK_H_
+#define PGIVM_WORKLOAD_SOCIAL_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "support/rng.h"
+
+namespace pgivm {
+
+/// Configuration of the LDBC-SNB-flavoured social network generator.
+///
+/// The LDBC Social Network Benchmark (paper ref [17]) is not redistributable
+/// here; this generator synthesizes a graph with the same schema flavour —
+/// Persons who know each other, Posts and transitive Comment reply trees,
+/// likes, languages, and collection-valued profile properties — and an
+/// update stream with SNB-like operation mix. That preserves what the
+/// experiments measure: propagation cost under realistic graph shapes.
+struct SocialNetworkConfig {
+  int64_t persons = 50;
+  int64_t posts_per_person = 2;
+  /// Expected number of (transitive) comments below each post.
+  int64_t comments_per_post = 4;
+  int64_t max_reply_depth = 4;
+  int64_t knows_per_person = 3;
+  double like_probability = 0.3;
+  uint64_t seed = 42;
+};
+
+/// Builds and evolves the social graph.
+///
+/// Vertices: (:Person {name, country, speaks: [lang...]}),
+///           (:Post {lang, length}), (:Comm {lang, length}).
+/// Edges:    (:Person)-[:KNOWS]->(:Person),
+///           (message)-[:REPLY]->(:Comm)        — parent to reply,
+///           (:Person)-[:LIKES]->(message),
+///           (message)-[:HAS_CREATOR]->(:Person).
+class SocialNetworkGenerator {
+ public:
+  explicit SocialNetworkGenerator(const SocialNetworkConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Populates `graph` (one batch per entity family). Call once.
+  void Populate(PropertyGraph* graph);
+
+  /// Applies one random update drawn from the SNB-like operation mix:
+  /// new reply comment, new like, new knows edge, language flip, profile
+  /// language append/removal, or leaf-comment deletion.
+  void ApplyRandomUpdate(PropertyGraph* graph);
+
+  const std::vector<VertexId>& persons() const { return persons_; }
+  const std::vector<VertexId>& posts() const { return posts_; }
+  const std::vector<VertexId>& comments() const { return comments_; }
+
+  /// Languages used by the generator.
+  static const std::vector<std::string>& Languages();
+
+ private:
+  std::string RandomLanguage();
+  VertexId RandomMessage();
+
+  /// Adds one reply comment under `parent` and returns it.
+  VertexId AddReply(PropertyGraph* graph, VertexId parent);
+
+  SocialNetworkConfig config_;
+  Rng rng_;
+  std::vector<VertexId> persons_;
+  std::vector<VertexId> posts_;
+  std::vector<VertexId> comments_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_WORKLOAD_SOCIAL_NETWORK_H_

@@ -1,0 +1,110 @@
+// Engine API conveniences: $parameters, Explain, and plan introspection.
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+
+namespace pgivm {
+namespace {
+
+TEST(ParameterTest, SubstitutedInWhere) {
+  PropertyGraph graph;
+  graph.AddVertex({"P"}, {{"age", Value::Int(20)}});
+  graph.AddVertex({"P"}, {{"age", Value::Int(40)}});
+  QueryEngine engine(&graph);
+  auto view = engine
+                  .Register("MATCH (n:P) WHERE n.age >= $min RETURN n",
+                            {{"min", Value::Int(30)}})
+                  .value();
+  EXPECT_EQ(view->size(), 1);
+}
+
+TEST(ParameterTest, SubstitutedInPropertyPattern) {
+  PropertyGraph graph;
+  graph.AddVertex({"P"}, {{"name", Value::String("ada")}});
+  graph.AddVertex({"P"}, {{"name", Value::String("bob")}});
+  QueryEngine engine(&graph);
+  Result<std::vector<Tuple>> rows =
+      engine.EvaluateOnce("MATCH (n:P {name: $who}) RETURN n",
+                          {{"who", Value::String("ada")}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows.value().size(), 1u);
+}
+
+TEST(ParameterTest, SubstitutedInReturnAndUnwind) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  Result<std::vector<Tuple>> rows = engine.EvaluateOnce(
+      "UNWIND $values AS v RETURN v + $offset AS out",
+      {{"values", Value::List({Value::Int(1), Value::Int(2)})},
+       {"offset", Value::Int(10)}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0].at(0), Value::Int(11));
+  EXPECT_EQ(rows.value()[1].at(0), Value::Int(12));
+}
+
+TEST(ParameterTest, MissingParameterRejected) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  Result<std::shared_ptr<View>> view =
+      engine.Register("MATCH (n:P) WHERE n.age > $min RETURN n");
+  ASSERT_FALSE(view.ok());
+  EXPECT_NE(view.status().message().find("$min"), std::string::npos);
+}
+
+TEST(ParameterTest, DifferentBindingsGiveIndependentViews) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto young = engine
+                   .Register("MATCH (n:P) WHERE n.age < $cut RETURN n",
+                             {{"cut", Value::Int(30)}})
+                   .value();
+  auto old = engine
+                 .Register("MATCH (n:P) WHERE n.age < $cut RETURN n",
+                           {{"cut", Value::Int(100)}})
+                 .value();
+  graph.AddVertex({"P"}, {{"age", Value::Int(50)}});
+  EXPECT_EQ(young->size(), 0);
+  EXPECT_EQ(old->size(), 1);
+}
+
+TEST(ParameterTest, DollarWithoutNameIsLexError) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  EXPECT_FALSE(engine.Register("RETURN $ AS x").ok());
+}
+
+TEST(ExplainTest, ShowsBothPlanStages) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  Result<std::string> report = engine.Explain(
+      "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang "
+      "RETURN p, t");
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The GRA stage still shows the expand-out operator...
+  EXPECT_NE(report->find("GRA (paper step 1):"), std::string::npos);
+  EXPECT_NE(report->find("PathJoin"), std::string::npos);
+  // ...the FRA stage shows the pushed-down property extracts.
+  EXPECT_NE(report->find("FRA (after steps 2-3):"), std::string::npos);
+  EXPECT_NE(report->find("lang -> #p.lang"), std::string::npos);
+}
+
+TEST(ExplainTest, PropagatesCompileErrors) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  EXPECT_FALSE(engine.Explain("MATCH (n:A) RETURN zz").ok());
+}
+
+TEST(ViewIntrospectionTest, PlansAndQueryAccessible) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (n:A) RETURN n").value();
+  EXPECT_EQ(view->query(), "MATCH (n:A) RETURN n");
+  EXPECT_EQ(view->gra_plan()->kind, OpKind::kProduce);
+  EXPECT_EQ(view->fra_plan()->kind, OpKind::kProduce);
+  EXPECT_EQ(view->column_names(), std::vector<std::string>{"n"});
+}
+
+}  // namespace
+}  // namespace pgivm

@@ -1,0 +1,180 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "workload/random_graph.h"
+
+namespace pgivm {
+namespace {
+
+Value Roundtrip(const Value& v) {
+  Result<Value> parsed = ParseValueText(WriteValueText(v));
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << " for " << v.ToString();
+  return parsed.ok() ? parsed.value() : Value::Null();
+}
+
+TEST(ValueTextTest, ScalarsRoundtrip) {
+  EXPECT_EQ(Roundtrip(Value::Null()), Value::Null());
+  EXPECT_EQ(Roundtrip(Value::Bool(true)), Value::Bool(true));
+  EXPECT_EQ(Roundtrip(Value::Bool(false)), Value::Bool(false));
+  EXPECT_EQ(Roundtrip(Value::Int(-42)), Value::Int(-42));
+  EXPECT_EQ(Roundtrip(Value::Int(0)), Value::Int(0));
+}
+
+TEST(ValueTextTest, DoublesKeepTypeAndPrecision) {
+  Value d = Roundtrip(Value::Double(3.0));
+  EXPECT_TRUE(d.is_double());  // "3.0", not the integer 3.
+  EXPECT_EQ(Roundtrip(Value::Double(0.1)), Value::Double(0.1));
+  EXPECT_EQ(Roundtrip(Value::Double(1e300)), Value::Double(1e300));
+  EXPECT_EQ(Roundtrip(Value::Double(-2.5e-7)), Value::Double(-2.5e-7));
+}
+
+TEST(ValueTextTest, StringsWithEscapes) {
+  Value s = Value::String("line\nwith \"quotes\" and \\slashes\t!");
+  EXPECT_EQ(Roundtrip(s), s);
+  EXPECT_EQ(Roundtrip(Value::String("")), Value::String(""));
+}
+
+TEST(ValueTextTest, NestedCollections) {
+  Value nested = Value::Map(
+      {{"list", Value::List({Value::Int(1), Value::String("x"),
+                             Value::List({})})},
+       {"map", Value::Map({{"inner", Value::Bool(true)}})},
+       {"scalar", Value::Double(2.5)}});
+  EXPECT_EQ(Roundtrip(nested), nested);
+}
+
+TEST(ValueTextTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseValueText("").ok());
+  EXPECT_FALSE(ParseValueText("[1, 2").ok());
+  EXPECT_FALSE(ParseValueText("{\"k\" 1}").ok());
+  EXPECT_FALSE(ParseValueText("\"unterminated").ok());
+  EXPECT_FALSE(ParseValueText("1 2").ok());
+  EXPECT_FALSE(ParseValueText("{k: 1}").ok());  // Unquoted key.
+}
+
+TEST(GraphTextTest, EmptyGraphRoundtrip) {
+  PropertyGraph graph;
+  std::string dump = WriteGraphText(graph);
+  PropertyGraph loaded;
+  ASSERT_TRUE(ReadGraphText(dump, &loaded).ok());
+  EXPECT_EQ(loaded.vertex_count(), 0u);
+  EXPECT_EQ(loaded.edge_count(), 0u);
+}
+
+TEST(GraphTextTest, SmallGraphRoundtrip) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({"Post"}, {{"lang", Value::String("en")}});
+  VertexId b = graph.AddVertex(
+      {"Comm", "Msg"},
+      {{"lang", Value::String("de")},
+       {"tags", Value::List({Value::Int(1), Value::Int(2)})}});
+  (void)graph.AddEdge(a, b, "REPLY", {{"w", Value::Double(0.5)}}).value();
+
+  std::string dump = WriteGraphText(graph);
+  PropertyGraph loaded;
+  ASSERT_TRUE(ReadGraphText(dump, &loaded).ok());
+  EXPECT_EQ(loaded.vertex_count(), 2u);
+  EXPECT_EQ(loaded.edge_count(), 1u);
+  EXPECT_EQ(loaded.VerticesWithLabel("Post").size(), 1u);
+  EXPECT_EQ(loaded.VerticesWithLabel("Msg").size(), 1u);
+  EdgeId e = loaded.EdgesWithType("REPLY")[0];
+  EXPECT_EQ(loaded.GetEdgeProperty(e, "w"), Value::Double(0.5));
+  VertexId lb = loaded.EdgeTarget(e);
+  EXPECT_EQ(loaded.GetVertexProperty(lb, "tags"),
+            Value::List({Value::Int(1), Value::Int(2)}));
+
+  // Dense dumps are stable: dump(load(dump)) == dump.
+  EXPECT_EQ(WriteGraphText(loaded), dump);
+}
+
+TEST(GraphTextTest, IdsRemappedAfterDeletions) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({"A"});
+  VertexId b = graph.AddVertex({"B"});
+  VertexId c = graph.AddVertex({"C"});
+  (void)graph.AddEdge(a, c, "T").value();
+  ASSERT_TRUE(graph.RemoveVertex(b).ok());  // Leaves an id gap.
+
+  PropertyGraph loaded;
+  ASSERT_TRUE(ReadGraphText(WriteGraphText(graph), &loaded).ok());
+  EXPECT_EQ(loaded.vertex_count(), 2u);
+  EXPECT_EQ(loaded.edge_count(), 1u);
+  EdgeId e = loaded.EdgesWithType("T")[0];
+  EXPECT_TRUE(loaded.VertexHasLabel(loaded.EdgeSource(e), "A"));
+  EXPECT_TRUE(loaded.VertexHasLabel(loaded.EdgeTarget(e), "C"));
+}
+
+TEST(GraphTextTest, RandomGraphRoundtripPreservesQueryResults) {
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.seed = 99;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+  for (int i = 0; i < 50; ++i) generator.ApplyRandomUpdate(&graph);
+
+  PropertyGraph loaded;
+  ASSERT_TRUE(ReadGraphText(WriteGraphText(graph), &loaded).ok());
+  EXPECT_EQ(loaded.vertex_count(), graph.vertex_count());
+  EXPECT_EQ(loaded.edge_count(), graph.edge_count());
+
+  // Id-independent queries agree between original and loaded graph.
+  QueryEngine original(&graph);
+  QueryEngine copy(&loaded);
+  for (const char* query :
+       {"MATCH (n:A) RETURN count(*) AS c",
+        "MATCH (a:A)-[:R]->(b:B) RETURN count(*) AS c",
+        "MATCH (n:B) UNWIND n.tags AS t RETURN t, count(*) AS c"}) {
+    EXPECT_EQ(original.EvaluateOnce(query).value(),
+              copy.EvaluateOnce(query).value())
+        << query;
+  }
+}
+
+TEST(GraphTextTest, LoadFeedsRegisteredViews) {
+  // Loading emits one batch; attached views must pick everything up.
+  PropertyGraph source;
+  VertexId a = source.AddVertex({"Post"}, {{"lang", Value::String("en")}});
+  VertexId b = source.AddVertex({"Comm"}, {{"lang", Value::String("en")}});
+  (void)source.AddEdge(a, b, "REPLY").value();
+
+  PropertyGraph target;
+  QueryEngine engine(&target);
+  auto view = engine
+                  .Register("MATCH (p:Post)-[:REPLY]->(c:Comm) "
+                            "WHERE p.lang = c.lang RETURN p, c")
+                  .value();
+  ASSERT_TRUE(ReadGraphText(WriteGraphText(source), &target).ok());
+  EXPECT_EQ(view->size(), 1);
+}
+
+TEST(GraphTextTest, BadHeaderRejected) {
+  PropertyGraph graph;
+  EXPECT_FALSE(ReadGraphText("not a dump", &graph).ok());
+  EXPECT_FALSE(ReadGraphText("", &graph).ok());
+}
+
+TEST(GraphTextTest, MalformedRecordsRejected) {
+  PropertyGraph graph;
+  EXPECT_FALSE(
+      ReadGraphText("pgivm-graph 1\nvertex oops : {}", &graph).ok());
+  EXPECT_FALSE(
+      ReadGraphText("pgivm-graph 1\nedge 0 5 6 T {}", &graph).ok());
+  EXPECT_FALSE(
+      ReadGraphText("pgivm-graph 1\nwidget 1 2 3", &graph).ok());
+  EXPECT_FALSE(ReadGraphText(
+                   "pgivm-graph 1\nvertex 0 : {}\nvertex 0 : {}", &graph)
+                   .ok());
+}
+
+TEST(GraphTextTest, CommentsAndBlankLinesSkipped) {
+  PropertyGraph graph;
+  ASSERT_TRUE(ReadGraphText(
+                  "pgivm-graph 1\n# a comment\n\nvertex 0 :X {}\n", &graph)
+                  .ok());
+  EXPECT_EQ(graph.VerticesWithLabel("X").size(), 1u);
+}
+
+}  // namespace
+}  // namespace pgivm

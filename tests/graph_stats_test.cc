@@ -1,0 +1,71 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/social_network.h"
+
+namespace pgivm {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  PropertyGraph graph;
+  GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.vertex_count, 0u);
+  EXPECT_EQ(stats.edge_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(GraphStatsTest, CountsLabelsTypesAndKeys) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({"A", "Common"}, {{"x", Value::Int(1)}});
+  VertexId b = graph.AddVertex({"B", "Common"},
+                               {{"x", Value::Int(2)}, {"y", Value::Int(3)}});
+  (void)graph.AddEdge(a, b, "T", {{"w", Value::Int(1)}}).value();
+  (void)graph.AddEdge(a, b, "T").value();
+  (void)graph.AddEdge(b, a, "U").value();
+
+  GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.vertex_count, 2u);
+  EXPECT_EQ(stats.edge_count, 3u);
+  EXPECT_EQ(stats.vertices_per_label["Common"], 2u);
+  EXPECT_EQ(stats.vertices_per_label["A"], 1u);
+  EXPECT_EQ(stats.edges_per_type["T"], 2u);
+  EXPECT_EQ(stats.edges_per_type["U"], 1u);
+  EXPECT_EQ(stats.vertex_property_keys["x"], 2u);
+  EXPECT_EQ(stats.vertex_property_keys["y"], 1u);
+  EXPECT_EQ(stats.edge_property_keys["w"], 1u);
+  EXPECT_EQ(stats.max_out_degree, 2u);  // a has two outgoing edges.
+  EXPECT_EQ(stats.max_in_degree, 2u);   // b receives two.
+  // Total degree = 2 * edges; averaged per vertex and halved = 1.5.
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 1.5);
+}
+
+TEST(GraphStatsTest, TracksRemovals) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({"A"});
+  VertexId b = graph.AddVertex({"A"});
+  EdgeId e = graph.AddEdge(a, b, "T").value();
+  ASSERT_TRUE(graph.RemoveEdge(e).ok());
+  ASSERT_TRUE(graph.RemoveVertex(b).ok());
+  GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.vertex_count, 1u);
+  EXPECT_EQ(stats.edge_count, 0u);
+  EXPECT_EQ(stats.vertices_per_label["A"], 1u);
+  EXPECT_TRUE(stats.edges_per_type.empty());
+}
+
+TEST(GraphStatsTest, SocialWorkloadShape) {
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 20;
+  SocialNetworkGenerator(config).Populate(&graph);
+  GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.vertices_per_label["Person"], 20u);
+  EXPECT_GT(stats.edges_per_type["REPLY"], 0u);
+  EXPECT_GT(stats.vertex_property_keys["speaks"], 0u);
+  EXPECT_GT(stats.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace pgivm

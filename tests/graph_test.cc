@@ -1,0 +1,243 @@
+#include "graph/property_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace pgivm {
+namespace {
+
+/// Captures emitted deltas for inspection.
+class RecordingListener : public GraphListener {
+ public:
+  void OnGraphDelta(const GraphDelta& delta) override {
+    deltas.push_back(delta);
+  }
+  std::vector<GraphDelta> deltas;
+};
+
+TEST(PropertyGraphTest, AddAndReadVertex) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({"Post", "Message"},
+                               {{"lang", Value::String("en")}});
+  EXPECT_TRUE(graph.HasVertex(v));
+  EXPECT_EQ(graph.vertex_count(), 1u);
+  EXPECT_TRUE(graph.VertexHasLabel(v, "Post"));
+  EXPECT_TRUE(graph.VertexHasLabel(v, "Message"));
+  EXPECT_FALSE(graph.VertexHasLabel(v, "Comm"));
+  EXPECT_EQ(graph.GetVertexProperty(v, "lang"), Value::String("en"));
+  EXPECT_TRUE(graph.GetVertexProperty(v, "missing").is_null());
+}
+
+TEST(PropertyGraphTest, LabelsAreSortedAndDeduplicated) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({"B", "A", "B"});
+  EXPECT_EQ(graph.VertexLabels(v), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(PropertyGraphTest, NullPropertiesDroppedOnAdd) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({}, {{"x", Value::Null()}});
+  EXPECT_TRUE(graph.VertexProperties(v).empty());
+}
+
+TEST(PropertyGraphTest, AddEdgeRequiresEndpoints) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({});
+  EXPECT_FALSE(graph.AddEdge(v, 999, "T").ok());
+  EXPECT_FALSE(graph.AddEdge(999, v, "T").ok());
+  Result<EdgeId> e = graph.AddEdge(v, v, "T");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(graph.EdgeSource(*e), v);
+  EXPECT_EQ(graph.EdgeTarget(*e), v);
+  EXPECT_EQ(graph.EdgeType(*e), "T");
+}
+
+TEST(PropertyGraphTest, AdjacencyListsTrackEdges) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({});
+  VertexId b = graph.AddVertex({});
+  EdgeId e = graph.AddEdge(a, b, "T").value();
+  EXPECT_EQ(graph.OutEdges(a), std::vector<EdgeId>{e});
+  EXPECT_EQ(graph.InEdges(b), std::vector<EdgeId>{e});
+  EXPECT_TRUE(graph.OutEdges(b).empty());
+  ASSERT_TRUE(graph.RemoveEdge(e).ok());
+  EXPECT_TRUE(graph.OutEdges(a).empty());
+  EXPECT_TRUE(graph.InEdges(b).empty());
+  EXPECT_FALSE(graph.HasEdge(e));
+}
+
+TEST(PropertyGraphTest, RemoveVertexRefusesWithIncidentEdges) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({});
+  VertexId b = graph.AddVertex({});
+  (void)graph.AddEdge(a, b, "T").value();
+  EXPECT_EQ(graph.RemoveVertex(a).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(graph.DetachRemoveVertex(a).ok());
+  EXPECT_FALSE(graph.HasVertex(a));
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(PropertyGraphTest, IdsAreNeverReused) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({});
+  ASSERT_TRUE(graph.RemoveVertex(a).ok());
+  VertexId b = graph.AddVertex({});
+  EXPECT_NE(a, b);
+}
+
+TEST(PropertyGraphTest, LabelIndexFollowsLabelChanges) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({"A"});
+  EXPECT_EQ(graph.VerticesWithLabel("A").size(), 1u);
+  ASSERT_TRUE(graph.AddVertexLabel(v, "B").ok());
+  EXPECT_EQ(graph.VerticesWithLabel("B").size(), 1u);
+  ASSERT_TRUE(graph.RemoveVertexLabel(v, "A").ok());
+  EXPECT_TRUE(graph.VerticesWithLabel("A").empty());
+}
+
+TEST(PropertyGraphTest, SetPropertyEmitsOldAndNewValue) {
+  PropertyGraph graph;
+  RecordingListener listener;
+  VertexId v = graph.AddVertex({});
+  graph.AddListener(&listener);
+  ASSERT_TRUE(graph.SetVertexProperty(v, "x", Value::Int(1)).ok());
+  ASSERT_TRUE(graph.SetVertexProperty(v, "x", Value::Int(2)).ok());
+  ASSERT_TRUE(graph.SetVertexProperty(v, "x", Value::Null()).ok());  // erase
+
+  ASSERT_EQ(listener.deltas.size(), 3u);
+  const GraphChange& first = listener.deltas[0].changes[0];
+  EXPECT_TRUE(first.old_value.is_null());
+  EXPECT_EQ(first.new_value, Value::Int(1));
+  const GraphChange& second = listener.deltas[1].changes[0];
+  EXPECT_EQ(second.old_value, Value::Int(1));
+  EXPECT_EQ(second.new_value, Value::Int(2));
+  const GraphChange& third = listener.deltas[2].changes[0];
+  EXPECT_EQ(third.old_value, Value::Int(2));
+  EXPECT_TRUE(third.new_value.is_null());
+  EXPECT_TRUE(graph.GetVertexProperty(v, "x").is_null());
+}
+
+TEST(PropertyGraphTest, NoOpWritesEmitNothing) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({}, {{"x", Value::Int(1)}});
+  RecordingListener listener;
+  graph.AddListener(&listener);
+  ASSERT_TRUE(graph.SetVertexProperty(v, "x", Value::Int(1)).ok());
+  ASSERT_TRUE(graph.AddVertexLabel(v, "L").ok());
+  ASSERT_TRUE(graph.AddVertexLabel(v, "L").ok());  // duplicate: no-op
+  ASSERT_TRUE(graph.RemoveVertexLabel(v, "Missing").ok());
+  EXPECT_EQ(listener.deltas.size(), 1u);  // only the first label add
+}
+
+TEST(PropertyGraphTest, BatchEmitsOneDelta) {
+  PropertyGraph graph;
+  RecordingListener listener;
+  graph.AddListener(&listener);
+  graph.BeginBatch();
+  VertexId a = graph.AddVertex({"A"});
+  VertexId b = graph.AddVertex({"B"});
+  (void)graph.AddEdge(a, b, "T").value();
+  graph.CommitBatch();
+  ASSERT_EQ(listener.deltas.size(), 1u);
+  EXPECT_EQ(listener.deltas[0].size(), 3u);
+}
+
+TEST(PropertyGraphTest, DetachRemoveEmitsEdgeRemovalsFirst) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({});
+  VertexId b = graph.AddVertex({});
+  (void)graph.AddEdge(a, b, "T").value();
+  (void)graph.AddEdge(b, a, "T").value();
+  RecordingListener listener;
+  graph.AddListener(&listener);
+  graph.BeginBatch();
+  ASSERT_TRUE(graph.DetachRemoveVertex(a).ok());
+  graph.CommitBatch();
+  const GraphDelta& delta = listener.deltas[0];
+  ASSERT_EQ(delta.size(), 3u);
+  EXPECT_EQ(delta.changes[0].kind, GraphChange::Kind::kRemoveEdge);
+  EXPECT_EQ(delta.changes[1].kind, GraphChange::Kind::kRemoveEdge);
+  EXPECT_EQ(delta.changes[2].kind, GraphChange::Kind::kRemoveVertex);
+}
+
+TEST(PropertyGraphTest, ListAppendAndRemove) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({});
+  ASSERT_TRUE(graph.ListAppend(v, "tags", Value::Int(1)).ok());
+  ASSERT_TRUE(graph.ListAppend(v, "tags", Value::Int(2)).ok());
+  ASSERT_TRUE(graph.ListAppend(v, "tags", Value::Int(1)).ok());
+  Value tags = graph.GetVertexProperty(v, "tags");
+  ASSERT_TRUE(tags.is_list());
+  EXPECT_EQ(tags.AsList().size(), 3u);
+
+  ASSERT_TRUE(graph.ListRemoveFirst(v, "tags", Value::Int(1)).ok());
+  tags = graph.GetVertexProperty(v, "tags");
+  EXPECT_EQ(tags.AsList().size(), 2u);
+  EXPECT_EQ(tags.AsList()[0], Value::Int(2));  // First occurrence removed.
+
+  EXPECT_EQ(graph.ListRemoveFirst(v, "tags", Value::Int(9)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PropertyGraphTest, ListAppendRejectsNonListProperty) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({}, {{"x", Value::Int(1)}});
+  EXPECT_EQ(graph.ListAppend(v, "x", Value::Int(2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PropertyGraphTest, MapPutAndErase) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({});
+  ASSERT_TRUE(graph.MapPut(v, "attrs", "color", Value::String("red")).ok());
+  ASSERT_TRUE(graph.MapPut(v, "attrs", "size", Value::Int(3)).ok());
+  Value attrs = graph.GetVertexProperty(v, "attrs");
+  ASSERT_TRUE(attrs.is_map());
+  EXPECT_EQ(attrs.AsMap().size(), 2u);
+  ASSERT_TRUE(graph.MapErase(v, "attrs", "color").ok());
+  EXPECT_EQ(graph.GetVertexProperty(v, "attrs").AsMap().size(), 1u);
+  ASSERT_TRUE(graph.MapErase(v, "attrs", "missing").ok());  // no-op
+}
+
+TEST(PropertyGraphTest, EdgePropertiesWork) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({});
+  VertexId b = graph.AddVertex({});
+  EdgeId e = graph.AddEdge(a, b, "T", {{"w", Value::Int(5)}}).value();
+  EXPECT_EQ(graph.GetEdgeProperty(e, "w"), Value::Int(5));
+  ASSERT_TRUE(graph.SetEdgeProperty(e, "w", Value::Int(6)).ok());
+  EXPECT_EQ(graph.GetEdgeProperty(e, "w"), Value::Int(6));
+}
+
+TEST(PropertyGraphTest, TypeIndex) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({});
+  VertexId b = graph.AddVertex({});
+  (void)graph.AddEdge(a, b, "X").value();
+  EdgeId e2 = graph.AddEdge(a, b, "Y").value();
+  EXPECT_EQ(graph.EdgesWithType("X").size(), 1u);
+  EXPECT_EQ(graph.EdgesWithType("Y").size(), 1u);
+  ASSERT_TRUE(graph.RemoveEdge(e2).ok());
+  EXPECT_TRUE(graph.EdgesWithType("Y").empty());
+}
+
+TEST(PropertyGraphTest, RemovedListenerStopsReceiving) {
+  PropertyGraph graph;
+  RecordingListener listener;
+  graph.AddListener(&listener);
+  graph.AddVertex({});
+  graph.RemoveListener(&listener);
+  graph.AddVertex({});
+  EXPECT_EQ(listener.deltas.size(), 1u);
+}
+
+TEST(PropertyGraphTest, ApproxMemoryGrowsWithContent) {
+  PropertyGraph graph;
+  size_t empty = graph.ApproxMemoryBytes();
+  for (int i = 0; i < 100; ++i) {
+    graph.AddVertex({"Label"}, {{"k", Value::String("some value here")}});
+  }
+  EXPECT_GT(graph.ApproxMemoryBytes(), empty);
+}
+
+}  // namespace
+}  // namespace pgivm

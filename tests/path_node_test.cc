@@ -1,0 +1,208 @@
+#include "rete/path_node.h"
+
+#include <gtest/gtest.h>
+
+namespace pgivm {
+namespace {
+
+class SinkNode : public ReteNode {
+ public:
+  SinkNode() : ReteNode(Schema{}) {}
+  void OnDelta(int port, const Delta& delta) override {
+    (void)port;
+    for (const DeltaEntry& entry : delta) {
+      bag.Apply(entry.tuple, entry.multiplicity);
+    }
+  }
+  std::string DebugString() const override { return "Sink"; }
+  Bag bag;
+};
+
+Schema PathSchema(bool with_path) {
+  Schema schema({{"a", Attribute::Kind::kVertex},
+                 {"b", Attribute::Kind::kVertex}});
+  if (with_path) schema.Add({"p", Attribute::Kind::kPath});
+  return schema;
+}
+
+Tuple Pair(VertexId a, VertexId b) {
+  return Tuple({Value::Vertex(a), Value::Vertex(b)});
+}
+
+struct Fixture {
+  Fixture(int64_t min_hops, int64_t max_hops, bool emit_path = false,
+          bool reversed = false)
+      : node(PathSchema(emit_path), &graph, {"T"}, reversed, min_hops,
+             max_hops, emit_path) {
+    node.AddOutput(&sink, 0);
+    graph.AddListener(&adapter);
+  }
+
+  /// Routes graph changes into the node like a network would.
+  struct Adapter : GraphListener {
+    explicit Adapter(PathInputNode* n) : node(n) {}
+    void OnGraphDelta(const GraphDelta& delta) override {
+      for (const GraphChange& change : delta.changes) {
+        node->HandleChange(change);
+      }
+    }
+    PathInputNode* node;
+  };
+
+  PropertyGraph graph;
+  SinkNode sink;
+  PathInputNode node;
+  Adapter adapter{&node};
+};
+
+TEST(PathNodeTest, ChainPathsMaterialized) {
+  Fixture f(1, -1);
+  VertexId v1 = f.graph.AddVertex({});
+  VertexId v2 = f.graph.AddVertex({});
+  VertexId v3 = f.graph.AddVertex({});
+  (void)f.graph.AddEdge(v1, v2, "T").value();
+  EXPECT_EQ(f.sink.bag.Count(Pair(v1, v2)), 1);
+
+  (void)f.graph.AddEdge(v2, v3, "T").value();
+  // New trails through the new edge: v2->v3 and v1->v2->v3.
+  EXPECT_EQ(f.sink.bag.Count(Pair(v2, v3)), 1);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v1, v3)), 1);
+  EXPECT_EQ(f.sink.bag.total_count(), 3);
+  EXPECT_EQ(f.node.path_count(), 3u);
+}
+
+TEST(PathNodeTest, EdgeRemovalRetractsContainingPaths) {
+  Fixture f(1, -1);
+  VertexId v1 = f.graph.AddVertex({});
+  VertexId v2 = f.graph.AddVertex({});
+  VertexId v3 = f.graph.AddVertex({});
+  EdgeId e1 = f.graph.AddEdge(v1, v2, "T").value();
+  (void)f.graph.AddEdge(v2, v3, "T").value();
+  EXPECT_EQ(f.sink.bag.total_count(), 3);
+
+  ASSERT_TRUE(f.graph.RemoveEdge(e1).ok());
+  // v1->v2 and v1->v3 gone; v2->v3 stays.
+  EXPECT_EQ(f.sink.bag.total_count(), 1);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v2, v3)), 1);
+}
+
+TEST(PathNodeTest, TypeFilteringIgnoresOtherEdges) {
+  Fixture f(1, -1);
+  VertexId v1 = f.graph.AddVertex({});
+  VertexId v2 = f.graph.AddVertex({});
+  (void)f.graph.AddEdge(v1, v2, "OTHER").value();
+  EXPECT_EQ(f.sink.bag.total_count(), 0);
+}
+
+TEST(PathNodeTest, HopBoundsRespected) {
+  Fixture f(2, 3);
+  std::vector<VertexId> v;
+  for (int i = 0; i < 5; ++i) v.push_back(f.graph.AddVertex({}));
+  for (int i = 0; i + 1 < 5; ++i) {
+    (void)f.graph.AddEdge(v[i], v[i + 1], "T").value();
+  }
+  // Chain of 4 edges: length-2 paths: 3; length-3 paths: 2. No 1s or 4s.
+  EXPECT_EQ(f.sink.bag.total_count(), 5);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v[0], v[1])), 0);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v[0], v[2])), 1);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v[0], v[3])), 1);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v[0], v[4])), 0);
+}
+
+TEST(PathNodeTest, ZeroLengthPathsTrackVertices) {
+  Fixture f(0, 1);
+  VertexId v1 = f.graph.AddVertex({});
+  EXPECT_EQ(f.sink.bag.Count(Pair(v1, v1)), 1);
+  ASSERT_TRUE(f.graph.RemoveVertex(v1).ok());
+  EXPECT_EQ(f.sink.bag.total_count(), 0);
+}
+
+TEST(PathNodeTest, CycleTerminatesViaTrailSemantics) {
+  Fixture f(1, -1);
+  VertexId v1 = f.graph.AddVertex({});
+  VertexId v2 = f.graph.AddVertex({});
+  (void)f.graph.AddEdge(v1, v2, "T").value();
+  (void)f.graph.AddEdge(v2, v1, "T").value();
+  // Trails (no repeated edge): v1->v2, v2->v1, v1->v2->v1, v2->v1->v2.
+  EXPECT_EQ(f.sink.bag.total_count(), 4);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v1, v1)), 1);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v2, v2)), 1);
+}
+
+TEST(PathNodeTest, DiamondCountsDistinctPaths) {
+  Fixture f(1, -1);
+  VertexId s = f.graph.AddVertex({});
+  VertexId a = f.graph.AddVertex({});
+  VertexId b = f.graph.AddVertex({});
+  VertexId t = f.graph.AddVertex({});
+  (void)f.graph.AddEdge(s, a, "T").value();
+  (void)f.graph.AddEdge(s, b, "T").value();
+  (void)f.graph.AddEdge(a, t, "T").value();
+  (void)f.graph.AddEdge(b, t, "T").value();
+  // Two distinct s->t paths (bag semantics: multiplicity 2).
+  EXPECT_EQ(f.sink.bag.Count(Pair(s, t)), 2);
+}
+
+TEST(PathNodeTest, PathValuesEmittedInPatternOrder) {
+  Fixture f(1, -1, /*emit_path=*/true);
+  VertexId v1 = f.graph.AddVertex({});
+  VertexId v2 = f.graph.AddVertex({});
+  EdgeId e = f.graph.AddEdge(v1, v2, "T").value();
+
+  bool found = false;
+  for (const auto& [tuple, count] : f.sink.bag.counts()) {
+    if (count <= 0) continue;
+    ASSERT_EQ(tuple.size(), 3u);
+    const Path& path = tuple.at(2).AsPath();
+    EXPECT_EQ(path.vertices(), (std::vector<VertexId>{v1, v2}));
+    EXPECT_EQ(path.edges(), std::vector<EdgeId>{e});
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PathNodeTest, ReversedFollowsIncomingEdges) {
+  // Pattern (a)<-[:T*]-(b): edges run b->a in the graph, while the emitted
+  // pair is (a, b) in pattern order.
+  Fixture f(1, -1, /*emit_path=*/false, /*reversed=*/true);
+  VertexId a = f.graph.AddVertex({});
+  VertexId b = f.graph.AddVertex({});
+  (void)f.graph.AddEdge(b, a, "T").value();
+  EXPECT_EQ(f.sink.bag.Count(Pair(a, b)), 1);
+}
+
+TEST(PathNodeTest, InitialStateFromExistingGraph) {
+  PropertyGraph graph;
+  VertexId v1 = graph.AddVertex({});
+  VertexId v2 = graph.AddVertex({});
+  VertexId v3 = graph.AddVertex({});
+  (void)graph.AddEdge(v1, v2, "T").value();
+  (void)graph.AddEdge(v2, v3, "T").value();
+
+  PathInputNode node(PathSchema(false), &graph, {"T"}, false, 1, -1, false);
+  SinkNode sink;
+  node.AddOutput(&sink, 0);
+  node.EmitInitialFromGraph();
+  EXPECT_EQ(sink.bag.total_count(), 3);
+  EXPECT_EQ(sink.bag.Count(Pair(v1, v3)), 1);
+}
+
+TEST(PathNodeTest, InsertInMiddleCreatesCrossPaths) {
+  Fixture f(1, -1);
+  VertexId v1 = f.graph.AddVertex({});
+  VertexId v2 = f.graph.AddVertex({});
+  VertexId v3 = f.graph.AddVertex({});
+  VertexId v4 = f.graph.AddVertex({});
+  (void)f.graph.AddEdge(v1, v2, "T").value();
+  (void)f.graph.AddEdge(v3, v4, "T").value();
+  EXPECT_EQ(f.sink.bag.total_count(), 2);
+
+  // Bridge the two chains: all prefix x suffix combinations appear.
+  (void)f.graph.AddEdge(v2, v3, "T").value();
+  // New: v2->v3, v1->v3, v2->v4, v1->v4.
+  EXPECT_EQ(f.sink.bag.total_count(), 6);
+  EXPECT_EQ(f.sink.bag.Count(Pair(v1, v4)), 1);
+}
+
+}  // namespace
+}  // namespace pgivm

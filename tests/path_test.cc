@@ -1,0 +1,65 @@
+#include "value/path.h"
+
+#include <gtest/gtest.h>
+
+namespace pgivm {
+namespace {
+
+TEST(PathTest, SingleVertexPath) {
+  Path p = Path::Single(5);
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_EQ(p.source(), 5);
+  EXPECT_EQ(p.target(), 5);
+  EXPECT_TRUE(p.ContainsVertex(5));
+  EXPECT_FALSE(p.ContainsEdge(0));
+}
+
+TEST(PathTest, MultiHopAccessors) {
+  Path p({1, 2, 3}, {10, 11});
+  EXPECT_EQ(p.length(), 2u);
+  EXPECT_EQ(p.source(), 1);
+  EXPECT_EQ(p.target(), 3);
+  EXPECT_TRUE(p.ContainsEdge(10));
+  EXPECT_TRUE(p.ContainsEdge(11));
+  EXPECT_FALSE(p.ContainsEdge(12));
+  EXPECT_TRUE(p.ContainsVertex(2));
+  EXPECT_FALSE(p.ContainsVertex(4));
+}
+
+TEST(PathTest, ExtendedCreatesNewPath) {
+  Path p = Path::Single(1);
+  Path q = p.Extended(10, 2);
+  EXPECT_EQ(p.length(), 0u);  // Original untouched (paths are atomic).
+  EXPECT_EQ(q.length(), 1u);
+  EXPECT_EQ(q.target(), 2);
+  EXPECT_TRUE(q.ContainsEdge(10));
+}
+
+TEST(PathTest, EqualityAndHash) {
+  Path a({1, 2}, {7});
+  Path b({1, 2}, {7});
+  Path c({1, 2}, {8});  // Same vertices, different edge.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(PathTest, CompareByLengthThenContent) {
+  Path shorter = Path::Single(9);
+  Path longer({1, 2}, {0});
+  EXPECT_LT(Path::Compare(shorter, longer), 0);
+  EXPECT_GT(Path::Compare(longer, shorter), 0);
+  EXPECT_EQ(Path::Compare(longer, longer), 0);
+
+  Path a({1, 2}, {0});
+  Path b({1, 3}, {0});
+  EXPECT_LT(Path::Compare(a, b), 0);
+}
+
+TEST(PathTest, ToStringShowsAlternatingSequence) {
+  Path p({1, 2, 3}, {10, 11});
+  EXPECT_EQ(p.ToString(), "<1-[e10]->2-[e11]->3>");
+}
+
+}  // namespace
+}  // namespace pgivm

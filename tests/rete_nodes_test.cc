@@ -1,0 +1,482 @@
+#include <gtest/gtest.h>
+
+#include "rete/aggregate_node.h"
+#include "rete/antijoin_node.h"
+#include "rete/distinct_node.h"
+#include "rete/filter_node.h"
+#include "rete/join_node.h"
+#include "rete/project_node.h"
+#include "rete/semijoin_node.h"
+#include "rete/union_node.h"
+#include "rete/unnest_node.h"
+
+namespace pgivm {
+namespace {
+
+/// Terminal node that accumulates everything it receives into a bag.
+class SinkNode : public ReteNode {
+ public:
+  SinkNode() : ReteNode(Schema{}) {}
+  void OnDelta(int port, const Delta& delta) override {
+    (void)port;
+    for (const DeltaEntry& entry : delta) {
+      bag.Apply(entry.tuple, entry.multiplicity);
+      ++entries_seen;
+    }
+  }
+  std::string DebugString() const override { return "Sink"; }
+
+  Bag bag;
+  int entries_seen = 0;
+};
+
+Schema OneCol(const char* name) {
+  return Schema({{name, Attribute::Kind::kValue}});
+}
+
+Schema TwoCols(const char* a, const char* b) {
+  return Schema({{a, Attribute::Kind::kValue},
+                 {b, Attribute::Kind::kValue}});
+}
+
+Tuple T1(int64_t a) { return Tuple({Value::Int(a)}); }
+Tuple T2(int64_t a, int64_t b) {
+  return Tuple({Value::Int(a), Value::Int(b)});
+}
+
+BoundExpression Bind(const ExprPtr& expr, const Schema& schema) {
+  Result<BoundExpression> bound = BoundExpression::Bind(expr, schema);
+  EXPECT_TRUE(bound.ok()) << bound.status();
+  return std::move(bound).value();
+}
+
+// ---- FilterNode ------------------------------------------------------------
+
+TEST(FilterNodeTest, KeepsOnlyTrueRows) {
+  Schema schema = OneCol("x");
+  ExprPtr pred = MakeBinary(BinaryOp::kGt, MakeVariable("x"),
+                            MakeLiteral(Value::Int(2)));
+  FilterNode filter(schema, Bind(pred, schema));
+  SinkNode sink;
+  filter.AddOutput(&sink, 0);
+
+  filter.OnDelta(0, {{T1(1), 1}, {T1(3), 2}, {T1(5), 1}});
+  EXPECT_EQ(sink.bag.Count(T1(1)), 0);
+  EXPECT_EQ(sink.bag.Count(T1(3)), 2);
+  EXPECT_EQ(sink.bag.Count(T1(5)), 1);
+
+  filter.OnDelta(0, {{T1(3), -2}});
+  EXPECT_EQ(sink.bag.Count(T1(3)), 0);
+}
+
+// ---- ProjectNode -----------------------------------------------------------
+
+TEST(ProjectNodeTest, MapsAndPreservesMultiplicity) {
+  Schema in = OneCol("x");
+  Schema out = OneCol("y");
+  std::vector<BoundExpression> columns;
+  columns.push_back(Bind(MakeBinary(BinaryOp::kMul, MakeVariable("x"),
+                                    MakeLiteral(Value::Int(10))),
+                         in));
+  ProjectNode project(out, std::move(columns));
+  SinkNode sink;
+  project.AddOutput(&sink, 0);
+
+  project.OnDelta(0, {{T1(2), 3}, {T1(4), -1}});
+  EXPECT_EQ(sink.bag.Count(T1(20)), 3);
+  EXPECT_EQ(sink.bag.Count(T1(40)), -1);
+}
+
+// ---- JoinNode --------------------------------------------------------------
+
+TEST(JoinNodeTest, NaturalJoinOnSharedColumn) {
+  Schema left = TwoCols("k", "a");
+  Schema right = TwoCols("k", "b");
+  Schema out({{"k", Attribute::Kind::kValue},
+              {"a", Attribute::Kind::kValue},
+              {"b", Attribute::Kind::kValue}});
+  JoinNode join(out, left, right);
+  SinkNode sink;
+  join.AddOutput(&sink, 0);
+
+  join.OnDelta(0, {{T2(1, 10), 1}});
+  EXPECT_EQ(sink.bag.total_count(), 0);  // No right side yet.
+  join.OnDelta(1, {{T2(1, 100), 1}});
+  EXPECT_EQ(sink.bag.Count(Tuple({Value::Int(1), Value::Int(10),
+                                  Value::Int(100)})),
+            1);
+  // Non-matching key produces nothing.
+  join.OnDelta(1, {{T2(2, 200), 1}});
+  EXPECT_EQ(sink.bag.total_count(), 1);
+}
+
+TEST(JoinNodeTest, MultiplicitiesMultiply) {
+  Schema left = TwoCols("k", "a");
+  Schema right = TwoCols("k", "b");
+  Schema out({{"k", Attribute::Kind::kValue},
+              {"a", Attribute::Kind::kValue},
+              {"b", Attribute::Kind::kValue}});
+  JoinNode join(out, left, right);
+  SinkNode sink;
+  join.AddOutput(&sink, 0);
+
+  join.OnDelta(0, {{T2(1, 10), 2}});
+  join.OnDelta(1, {{T2(1, 100), 3}});
+  EXPECT_EQ(sink.bag.Count(Tuple({Value::Int(1), Value::Int(10),
+                                  Value::Int(100)})),
+            6);
+}
+
+TEST(JoinNodeTest, RetractionCascades) {
+  Schema left = TwoCols("k", "a");
+  Schema right = TwoCols("k", "b");
+  Schema out({{"k", Attribute::Kind::kValue},
+              {"a", Attribute::Kind::kValue},
+              {"b", Attribute::Kind::kValue}});
+  JoinNode join(out, left, right);
+  SinkNode sink;
+  join.AddOutput(&sink, 0);
+
+  join.OnDelta(0, {{T2(1, 10), 1}});
+  join.OnDelta(1, {{T2(1, 100), 1}});
+  join.OnDelta(0, {{T2(1, 10), -1}});
+  EXPECT_EQ(sink.bag.total_count(), 0);
+  EXPECT_GT(join.ApproxMemoryBytes(), 0u);  // Right memory still holds a row.
+}
+
+TEST(JoinNodeTest, CrossJoinWhenNoSharedColumns) {
+  Schema left = OneCol("a");
+  Schema right = OneCol("b");
+  Schema out = TwoCols("a", "b");
+  JoinNode join(out, left, right);
+  SinkNode sink;
+  join.AddOutput(&sink, 0);
+
+  join.OnDelta(0, {{T1(1), 1}, {T1(2), 1}});
+  join.OnDelta(1, {{T1(9), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 9)), 1);
+  EXPECT_EQ(sink.bag.Count(T2(2, 9)), 1);
+}
+
+// ---- AntiJoinNode ----------------------------------------------------------
+
+TEST(AntiJoinNodeTest, EmitsLeftWithoutPartner) {
+  Schema left = TwoCols("k", "a");
+  Schema right = OneCol("k");
+  AntiJoinNode anti(left, left, right);
+  SinkNode sink;
+  anti.AddOutput(&sink, 0);
+
+  anti.OnDelta(0, {{T2(1, 10), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 1);  // No partner yet.
+
+  anti.OnDelta(1, {{T1(1), 1}});  // Partner arrives: retract.
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 0);
+
+  anti.OnDelta(1, {{T1(1), -1}});  // Partner leaves: re-assert.
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 1);
+}
+
+TEST(AntiJoinNodeTest, LeftArrivingAfterPartnerSuppressed) {
+  Schema left = TwoCols("k", "a");
+  Schema right = OneCol("k");
+  AntiJoinNode anti(left, left, right);
+  SinkNode sink;
+  anti.AddOutput(&sink, 0);
+
+  anti.OnDelta(1, {{T1(1), 1}});
+  anti.OnDelta(0, {{T2(1, 10), 1}});
+  EXPECT_EQ(sink.bag.total_count(), 0);
+  anti.OnDelta(0, {{T2(2, 20), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(2, 20)), 1);
+}
+
+// ---- SemiJoinNode ----------------------------------------------------------
+
+TEST(SemiJoinNodeTest, EmitsLeftWithPartnerOnly) {
+  Schema left = TwoCols("k", "a");
+  Schema right = OneCol("k");
+  SemiJoinNode semi(left, left, right);
+  SinkNode sink;
+  semi.AddOutput(&sink, 0);
+
+  semi.OnDelta(0, {{T2(1, 10), 1}});
+  EXPECT_EQ(sink.bag.total_count(), 0);  // No partner yet.
+
+  semi.OnDelta(1, {{T1(1), 1}});  // Partner arrives: assert.
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 1);
+
+  // Second partner for the same key: no duplicate output (not a join).
+  semi.OnDelta(1, {{T1(1), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 1);
+
+  // Removing one partner keeps the row; removing the last retracts it.
+  semi.OnDelta(1, {{T1(1), -1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 1);
+  semi.OnDelta(1, {{T1(1), -1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 0);
+}
+
+TEST(SemiJoinNodeTest, LeftMultiplicityPreserved) {
+  Schema left = TwoCols("k", "a");
+  Schema right = OneCol("k");
+  SemiJoinNode semi(left, left, right);
+  SinkNode sink;
+  semi.AddOutput(&sink, 0);
+
+  semi.OnDelta(1, {{T1(1), 5}});         // Fanout 5 on the right...
+  semi.OnDelta(0, {{T2(1, 10), 3}});     // ...left multiplicity 3.
+  EXPECT_EQ(sink.bag.Count(T2(1, 10)), 3);  // Not 15.
+}
+
+TEST(SemiJoinNodeTest, DualOfAntiJoin) {
+  // On identical delta streams, semi(L) + anti(L) == L.
+  Schema left = TwoCols("k", "a");
+  Schema right = OneCol("k");
+  SemiJoinNode semi(left, left, right);
+  AntiJoinNode anti(left, left, right);
+  SinkNode semi_sink, anti_sink;
+  semi.AddOutput(&semi_sink, 0);
+  anti.AddOutput(&anti_sink, 0);
+
+  std::vector<std::pair<int, DeltaEntry>> script = {
+      {0, {T2(1, 10), 1}}, {0, {T2(2, 20), 1}}, {1, {T1(1), 1}},
+      {1, {T1(2), 1}},     {1, {T1(1), -1}},    {0, {T2(3, 30), 2}},
+  };
+  for (const auto& [port, entry] : script) {
+    semi.OnDelta(port, {entry});
+    anti.OnDelta(port, {entry});
+  }
+  EXPECT_EQ(semi_sink.bag.Count(T2(1, 10)) + anti_sink.bag.Count(T2(1, 10)),
+            1);
+  EXPECT_EQ(semi_sink.bag.Count(T2(2, 20)) + anti_sink.bag.Count(T2(2, 20)),
+            1);
+  EXPECT_EQ(semi_sink.bag.Count(T2(3, 30)) + anti_sink.bag.Count(T2(3, 30)),
+            2);
+}
+
+// ---- DistinctNode ----------------------------------------------------------
+
+TEST(DistinctNodeTest, EmitsOnZeroTransitionsOnly) {
+  DistinctNode distinct(OneCol("x"));
+  SinkNode sink;
+  distinct.AddOutput(&sink, 0);
+
+  distinct.OnDelta(0, {{T1(1), 3}});
+  EXPECT_EQ(sink.bag.Count(T1(1)), 1);
+  distinct.OnDelta(0, {{T1(1), 5}});
+  EXPECT_EQ(sink.bag.Count(T1(1)), 1);  // Still one.
+  distinct.OnDelta(0, {{T1(1), -7}});
+  EXPECT_EQ(sink.bag.Count(T1(1)), 1);  // Count 1 left upstream.
+  distinct.OnDelta(0, {{T1(1), -1}});
+  EXPECT_EQ(sink.bag.Count(T1(1)), 0);  // Now gone.
+}
+
+// ---- UnionNode -------------------------------------------------------------
+
+TEST(UnionNodeTest, MergesBothPorts) {
+  UnionNode u(OneCol("x"));
+  SinkNode sink;
+  u.AddOutput(&sink, 0);
+  u.OnDelta(0, {{T1(1), 1}});
+  u.OnDelta(1, {{T1(1), 2}});
+  EXPECT_EQ(sink.bag.Count(T1(1)), 3);
+}
+
+// ---- AggregateNode ---------------------------------------------------------
+
+AggregateSpec MakeSpec(const std::string& fn, const Schema& input,
+                       bool distinct = false) {
+  ExprPtr call = fn == "count*"
+                     ? MakeCountStar()
+                     : MakeFunctionCall(fn, {MakeVariable("v")}, distinct);
+  Result<AggregateSpec> spec = AggregateSpec::Make(call, input, nullptr);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return std::move(spec).value();
+}
+
+TEST(AggregateNodeTest, GroupedCountAndSum) {
+  Schema in = TwoCols("k", "v");
+  Schema out({{"k", Attribute::Kind::kValue},
+              {"c", Attribute::Kind::kValue},
+              {"s", Attribute::Kind::kValue}});
+  std::vector<BoundExpression> keys;
+  keys.push_back(Bind(MakeVariable("k"), in));
+  std::vector<AggregateSpec> specs;
+  specs.push_back(MakeSpec("count*", in));
+  specs.push_back(MakeSpec("sum", in));
+  AggregateNode agg(out, std::move(keys), std::move(specs));
+  SinkNode sink;
+  agg.AddOutput(&sink, 0);
+
+  agg.OnDelta(0, {{T2(1, 10), 1}, {T2(1, 20), 1}, {T2(2, 5), 1}});
+  EXPECT_EQ(sink.bag.Count(Tuple({Value::Int(1), Value::Int(2),
+                                  Value::Int(30)})),
+            1);
+  EXPECT_EQ(sink.bag.Count(Tuple({Value::Int(2), Value::Int(1),
+                                  Value::Int(5)})),
+            1);
+
+  // Retract one row: the group's output row is replaced.
+  agg.OnDelta(0, {{T2(1, 20), -1}});
+  EXPECT_EQ(sink.bag.Count(Tuple({Value::Int(1), Value::Int(1),
+                                  Value::Int(10)})),
+            1);
+  EXPECT_EQ(sink.bag.Count(Tuple({Value::Int(1), Value::Int(2),
+                                  Value::Int(30)})),
+            0);
+
+  // Empty the group entirely: its row disappears.
+  agg.OnDelta(0, {{T2(2, 5), -1}});
+  EXPECT_EQ(sink.bag.total_count(), 1);
+}
+
+TEST(AggregateNodeTest, KeylessAggregationAlwaysHasOneRow) {
+  Schema in = TwoCols("k", "v");
+  Schema out = OneCol("c");
+  std::vector<AggregateSpec> specs;
+  specs.push_back(MakeSpec("count*", in));
+  AggregateNode agg(out, {}, std::move(specs));
+  SinkNode sink;
+  agg.AddOutput(&sink, 0);
+
+  agg.EmitInitial();
+  EXPECT_EQ(sink.bag.Count(T1(0)), 1);  // count(*) = 0 over empty input.
+
+  agg.OnDelta(0, {{T2(1, 1), 2}});
+  EXPECT_EQ(sink.bag.Count(T1(2)), 1);
+  EXPECT_EQ(sink.bag.Count(T1(0)), 0);
+
+  agg.OnDelta(0, {{T2(1, 1), -2}});
+  EXPECT_EQ(sink.bag.Count(T1(0)), 1);  // Back to the empty-input row.
+}
+
+TEST(AggregateNodeTest, MinMaxSupportRetraction) {
+  Schema in = TwoCols("k", "v");
+  Schema out = TwoCols("mn", "mx");
+  std::vector<AggregateSpec> specs;
+  specs.push_back(MakeSpec("min", in));
+  specs.push_back(MakeSpec("max", in));
+  AggregateNode agg(out, {}, std::move(specs));
+  SinkNode sink;
+  agg.AddOutput(&sink, 0);
+  agg.EmitInitial();
+
+  agg.OnDelta(0, {{T2(0, 5), 1}, {T2(0, 9), 1}, {T2(0, 1), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 9)), 1);
+  agg.OnDelta(0, {{T2(0, 1), -1}});  // Retract the minimum.
+  EXPECT_EQ(sink.bag.Count(T2(5, 9)), 1);
+  agg.OnDelta(0, {{T2(0, 9), -1}});  // Retract the maximum.
+  EXPECT_EQ(sink.bag.Count(T2(5, 5)), 1);
+}
+
+TEST(AggregateNodeTest, CollectAndDistinctCount) {
+  Schema in = TwoCols("k", "v");
+  Schema out = TwoCols("l", "d");
+  std::vector<AggregateSpec> specs;
+  specs.push_back(MakeSpec("collect", in));
+  specs.push_back(MakeSpec("count", in, /*distinct=*/true));
+  AggregateNode agg(out, {}, std::move(specs));
+  SinkNode sink;
+  agg.AddOutput(&sink, 0);
+  agg.EmitInitial();
+
+  agg.OnDelta(0, {{T2(0, 3), 1}, {T2(0, 3), 1}, {T2(0, 1), 1}});
+  Tuple expected({Value::List({Value::Int(1), Value::Int(3), Value::Int(3)}),
+                  Value::Int(2)});
+  EXPECT_EQ(sink.bag.Count(expected), 1);
+}
+
+TEST(AggregateNodeTest, NullArgumentsSkipped) {
+  Schema in = TwoCols("k", "v");
+  Schema out = TwoCols("c", "s");
+  std::vector<AggregateSpec> specs;
+  specs.push_back(MakeSpec("count", in));
+  specs.push_back(MakeSpec("sum", in));
+  AggregateNode agg(out, {}, std::move(specs));
+  SinkNode sink;
+  agg.AddOutput(&sink, 0);
+  agg.EmitInitial();
+
+  agg.OnDelta(0, {{Tuple({Value::Int(0), Value::Null()}), 1},
+                  {T2(0, 7), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 7)), 1);
+}
+
+// ---- UnnestNode ------------------------------------------------------------
+
+TEST(UnnestNodeTest, ExpandsListElements) {
+  Schema in = TwoCols("id", "tags");
+  Schema out = TwoCols("id", "tag");
+  BoundExpression collection = Bind(MakeVariable("tags"), in);
+  UnnestNode unnest(out, std::move(collection), {0}, /*fine_grained=*/false);
+  SinkNode sink;
+  unnest.AddOutput(&sink, 0);
+
+  Tuple input({Value::Int(1),
+               Value::List({Value::Int(7), Value::Int(8), Value::Int(7)})});
+  unnest.OnDelta(0, {{input, 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 7)), 2);
+  EXPECT_EQ(sink.bag.Count(T2(1, 8)), 1);
+}
+
+TEST(UnnestNodeTest, NullAndScalarHandling) {
+  Schema in = TwoCols("id", "x");
+  Schema out = TwoCols("id", "e");
+  UnnestNode unnest(out, Bind(MakeVariable("x"), in), {0}, false);
+  SinkNode sink;
+  unnest.AddOutput(&sink, 0);
+
+  unnest.OnDelta(0, {{Tuple({Value::Int(1), Value::Null()}), 1}});
+  EXPECT_EQ(sink.bag.total_count(), 0);  // UNWIND null -> no rows.
+  unnest.OnDelta(0, {{Tuple({Value::Int(1), Value::Int(9)}), 1}});
+  EXPECT_EQ(sink.bag.Count(T2(1, 9)), 1);  // Scalar singleton.
+}
+
+TEST(UnnestNodeTest, FineGrainedEmitsOnlyElementDiff) {
+  // Input column 1 (the collection) is dropped from the output, enabling
+  // fine-grained pairing: a one-element append emits ONE entry.
+  Schema in = TwoCols("id", "tags");
+  Schema out = TwoCols("id", "tag");
+  UnnestNode unnest(out, Bind(MakeVariable("tags"), in), {0},
+                    /*fine_grained=*/true);
+  SinkNode sink;
+  unnest.AddOutput(&sink, 0);
+
+  ValueList big;
+  for (int i = 0; i < 100; ++i) big.push_back(Value::Int(i));
+  Tuple before({Value::Int(1), Value::List(big)});
+  unnest.OnDelta(0, {{before, 1}});
+  int baseline_entries = sink.entries_seen;
+
+  big.push_back(Value::Int(100));
+  Tuple after({Value::Int(1), Value::List(big)});
+  unnest.OnDelta(0, {{before, -1}, {after, 1}});
+  EXPECT_EQ(sink.entries_seen - baseline_entries, 1);  // FGN!
+  EXPECT_EQ(sink.bag.Count(T2(1, 100)), 1);
+  EXPECT_EQ(sink.bag.total_count(), 101);
+}
+
+TEST(UnnestNodeTest, NaiveModeReemitsEverything) {
+  Schema in = TwoCols("id", "tags");
+  Schema out = TwoCols("id", "tag");
+  UnnestNode unnest(out, Bind(MakeVariable("tags"), in), {0},
+                    /*fine_grained=*/false);
+  SinkNode sink;
+  unnest.AddOutput(&sink, 0);
+
+  ValueList big;
+  for (int i = 0; i < 100; ++i) big.push_back(Value::Int(i));
+  Tuple before({Value::Int(1), Value::List(big)});
+  unnest.OnDelta(0, {{before, 1}});
+  int baseline_entries = sink.entries_seen;
+
+  big.push_back(Value::Int(100));
+  Tuple after({Value::Int(1), Value::List(big)});
+  unnest.OnDelta(0, {{before, -1}, {after, 1}});
+  EXPECT_EQ(sink.entries_seen - baseline_entries, 201);  // 100 - then 101 +.
+  EXPECT_EQ(sink.bag.total_count(), 101);  // Same net result.
+}
+
+}  // namespace
+}  // namespace pgivm

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "workload/railway.h"
+#include "workload/random_graph.h"
+#include "workload/social_network.h"
+
+namespace pgivm {
+namespace {
+
+TEST(SocialNetworkTest, PopulateBuildsExpectedShape) {
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 20;
+  config.posts_per_person = 2;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  EXPECT_EQ(generator.persons().size(), 20u);
+  EXPECT_EQ(generator.posts().size(), 40u);
+  EXPECT_GT(generator.comments().size(), 0u);
+  EXPECT_EQ(graph.VerticesWithLabel("Person").size(), 20u);
+  EXPECT_EQ(graph.VerticesWithLabel("Post").size(), 40u);
+  EXPECT_GT(graph.EdgesWithType("REPLY").size(), 0u);
+  EXPECT_GT(graph.EdgesWithType("KNOWS").size(), 0u);
+
+  // Every person speaks at least one language (collection property).
+  for (VertexId person : generator.persons()) {
+    Value speaks = graph.GetVertexProperty(person, "speaks");
+    ASSERT_TRUE(speaks.is_list());
+    EXPECT_GE(speaks.AsList().size(), 1u);
+  }
+}
+
+TEST(SocialNetworkTest, DeterministicForSameSeed) {
+  SocialNetworkConfig config;
+  config.persons = 10;
+  PropertyGraph g1, g2;
+  SocialNetworkGenerator(config).Populate(&g1);
+  SocialNetworkGenerator(config).Populate(&g2);
+  EXPECT_EQ(g1.vertex_count(), g2.vertex_count());
+  EXPECT_EQ(g1.edge_count(), g2.edge_count());
+}
+
+TEST(SocialNetworkTest, UpdateStreamKeepsViewsConsistent) {
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 15;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+  auto view = engine
+                  .Register("MATCH (p:Post)-[:REPLY*]->(c:Comm) "
+                            "WHERE p.lang = c.lang RETURN p, c")
+                  .value();
+  for (int i = 0; i < 60; ++i) generator.ApplyRandomUpdate(&graph);
+
+  // Spot-check against one-shot evaluation.
+  auto once = engine.EvaluateOnce(
+      "MATCH (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang "
+      "RETURN p, c");
+  ASSERT_TRUE(once.ok()) << once.status();
+  EXPECT_EQ(view->Snapshot(), once.value());
+}
+
+TEST(RailwayTest, PopulateInjectsFaults) {
+  PropertyGraph graph;
+  RailwayConfig config;
+  config.routes = 10;
+  config.fault_rate = 0.3;
+  RailwayGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+  auto pos_length =
+      engine.Register(RailwayGenerator::PosLengthQuery()).value();
+  auto switch_monitored =
+      engine.Register(RailwayGenerator::SwitchMonitoredQuery()).value();
+  auto route_sensor =
+      engine.Register(RailwayGenerator::RouteSensorQuery()).value();
+  auto switch_set =
+      engine.Register(RailwayGenerator::SwitchSetQuery()).value();
+
+  // With a 30% fault rate, each constraint should have violations.
+  EXPECT_GT(pos_length->size(), 0);
+  EXPECT_GT(switch_monitored->size(), 0);
+  EXPECT_GT(route_sensor->size(), 0);
+  EXPECT_GT(switch_set->size(), 0);
+}
+
+TEST(RailwayTest, ConstraintsMatchBaselineUnderUpdates) {
+  PropertyGraph graph;
+  RailwayConfig config;
+  config.routes = 6;
+  RailwayGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph);
+  std::vector<std::string> queries = {
+      RailwayGenerator::PosLengthQuery(),
+      RailwayGenerator::SwitchMonitoredQuery(),
+      RailwayGenerator::RouteSensorQuery(),
+      RailwayGenerator::SwitchSetQuery(),
+  };
+  std::vector<std::shared_ptr<View>> views;
+  for (const std::string& query : queries) {
+    views.push_back(engine.Register(query).value());
+  }
+  for (int i = 0; i < 40; ++i) {
+    generator.ApplyRandomUpdate(&graph);
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto expected = engine.EvaluateOnce(queries[q]);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    EXPECT_EQ(views[q]->Snapshot(), expected.value()) << queries[q];
+  }
+}
+
+TEST(RandomGraphTest, PopulateAndUpdateKeepGraphValid) {
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.initial_vertices = 25;
+  config.initial_edges = 40;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+  EXPECT_EQ(graph.vertex_count(), 25u);
+
+  for (int i = 0; i < 200; ++i) generator.ApplyRandomUpdate(&graph);
+  // Graph invariants hold: every live edge has live endpoints.
+  graph.ForEachEdge([&](EdgeId e) {
+    EXPECT_TRUE(graph.HasVertex(graph.EdgeSource(e)));
+    EXPECT_TRUE(graph.HasVertex(graph.EdgeTarget(e)));
+  });
+}
+
+}  // namespace
+}  // namespace pgivm
