@@ -9,6 +9,8 @@
 // Expected shape: IVM latency is roughly flat in model size, re-evaluation
 // grows linearly — the gap widens with scale.
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
 #include "baseline/baseline_evaluator.h"
@@ -76,6 +78,67 @@ void BM_E2_ReEval(benchmark::State& state) {
       static_cast<double>(graph.vertex_count() + graph.edge_count());
 }
 BENCHMARK(BM_E2_ReEval)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Iterations(200);
+
+// ---- batch-size sweep: eager vs batched propagation ------------------------
+//
+// Same four standing constraints, but updates arrive in BeginBatch/
+// CommitBatch bursts of range(0) changes; range(1) selects the propagation
+// strategy (0 = eager, 1 = batched). Eager unrolls each burst into
+// per-change cascades; batched translates the whole burst once and drains
+// the networks level by level with consolidation. The `emitted_per_batch`
+// counter is the resulting propagation volume (TotalEmittedEntries delta),
+// the FGN papers' cost metric.
+
+void BM_E2_BatchSweep(benchmark::State& state) {
+  int64_t batch_size = state.range(0);
+  PropagationStrategy strategy = state.range(1) == 0
+                                     ? PropagationStrategy::kEager
+                                     : PropagationStrategy::kBatched;
+
+  PropertyGraph graph;
+  RailwayConfig config;
+  config.routes = 64;
+  RailwayGenerator generator(config);
+  generator.Populate(&graph);
+
+  EngineOptions options;
+  options.network.propagation = strategy;
+  QueryEngine engine(&graph, options);
+  std::vector<std::shared_ptr<View>> views;
+  for (const std::string& query : ConstraintQueries()) {
+    views.push_back(engine.Register(query).value());
+  }
+
+  auto total_emitted = [&views] {
+    int64_t total = 0;
+    for (const auto& view : views) {
+      total += view->network().TotalEmittedEntries();
+    }
+    return total;
+  };
+
+  int64_t emitted_before = total_emitted();
+  int64_t violations = 0;
+  for (auto _ : state) {
+    graph.BeginBatch();
+    for (int64_t i = 0; i < batch_size; ++i) {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    graph.CommitBatch();
+    for (const auto& view : views) violations += view->size();
+  }
+  benchmark::DoNotOptimize(violations);
+
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["emitted_per_batch"] =
+      static_cast<double>(total_emitted() - emitted_before) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.SetLabel(PropagationStrategyName(strategy));
+}
+BENCHMARK(BM_E2_BatchSweep)
+    ->ArgsProduct({{1, 10, 100, 1000}, {0, 1}})
+    ->Iterations(20);
 
 }  // namespace
 }  // namespace pgivm

@@ -4,10 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "graph/property_graph.h"
 #include "rete/aggregate_node.h"
 #include "rete/distinct_node.h"
 #include "rete/filter_node.h"
 #include "rete/join_node.h"
+#include "rete/network.h"
 #include "rete/project_node.h"
 #include "support/rng.h"
 
@@ -160,6 +162,79 @@ void BM_E8_Aggregate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_E8_Aggregate)->Iterations(1000);
+
+void BM_E8_Consolidate(benchmark::State& state) {
+  // Throughput of the between-wave consolidation primitive on a delta with
+  // heavy duplication (each tuple appears ~8 times with mixed signs).
+  int64_t n = state.range(0);
+  Rng rng(6);
+  Delta base;
+  base.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    base.push_back({Tuple({Value::Int(static_cast<int64_t>(
+                        rng.NextBelow(static_cast<uint64_t>(n / 8 + 1))))}),
+                    rng.NextBool(0.5) ? 1 : -1});
+  }
+  for (auto _ : state) {
+    Delta work = base;
+    Consolidate(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_E8_Consolidate)->Arg(100)->Arg(1000)->Arg(10000);
+
+// ---- batch-size sweep through a minimal end-to-end network -----------------
+//
+// ◯[:A] ⋈ ◯[:B] → production, driven by graph-level batches of range(0)
+// add/remove-vertex pairs; range(1) selects eager (0) or batched (1)
+// propagation. Under batched propagation the inverse pairs cancel at the
+// sources and the join is never probed; under eager every pair cascades.
+
+void BM_E8_NetworkChurnSweep(benchmark::State& state) {
+  int64_t batch_size = state.range(0);
+  PropagationStrategy strategy = state.range(1) == 0
+                                     ? PropagationStrategy::kEager
+                                     : PropagationStrategy::kBatched;
+
+  PropertyGraph graph;
+  ReteNetwork network;
+  Schema vs({{"v", Attribute::Kind::kVertex}});
+  auto* left = network.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"A"},
+      std::vector<PropertyExtract>{}));
+  network.RegisterSource(left);
+  auto* right = network.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"B"},
+      std::vector<PropertyExtract>{}));
+  network.RegisterSource(right);
+  auto* join = network.Add(std::make_unique<JoinNode>(vs, vs, vs));
+  left->AddOutput(join, 0);
+  right->AddOutput(join, 1);
+  auto* production = network.Add(std::make_unique<ProductionNode>(vs));
+  join->AddOutput(production, 0);
+  network.SetProduction(production);
+  network.set_propagation(strategy);
+  network.Attach(&graph);
+
+  for (auto _ : state) {
+    graph.BeginBatch();
+    for (int64_t i = 0; i < batch_size; ++i) {
+      VertexId v = graph.AddVertex({"A", "B"});
+      (void)graph.RemoveVertex(v);
+    }
+    graph.CommitBatch();
+  }
+
+  state.SetItemsProcessed(state.iterations() * batch_size * 2);
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["emitted_total"] =
+      static_cast<double>(network.TotalEmittedEntries());
+  state.SetLabel(PropagationStrategyName(strategy));
+}
+BENCHMARK(BM_E8_NetworkChurnSweep)
+    ->ArgsProduct({{10, 100, 1000}, {0, 1}})
+    ->Iterations(200);
 
 }  // namespace
 }  // namespace pgivm

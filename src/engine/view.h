@@ -54,6 +54,10 @@ class View {
   const OpPtr& gra_plan() const { return gra_; }
   const OpPtr& fra_plan() const { return fra_; }
 
+  /// Runtime propagation strategy of the underlying network (from
+  /// EngineOptions::network at registration time).
+  PropagationStrategy propagation() const { return network_->propagation(); }
+
   /// Memory held by the Rete node memories of this view.
   size_t ApproxMemoryBytes() const { return network_->ApproxMemoryBytes(); }
 

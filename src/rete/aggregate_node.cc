@@ -201,7 +201,7 @@ void AggregateNode::OnDelta(int port, const Delta& delta) {
     }
     if (group.total_rows == 0 && !keys_.empty()) groups_.erase(it);
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 size_t AggregateNode::ApproxMemoryBytes() const {

@@ -45,6 +45,8 @@ class AggregateNode : public ReteNode {
   /// the network before any input delta.
   void EmitInitial() override;
 
+  void Reset() override { groups_.clear(); }
+
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override { return "Aggregate"; }

@@ -40,7 +40,7 @@ void AntiJoinNode::OnDelta(int port, const Delta& delta) {
       }
     }
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 size_t AntiJoinNode::ApproxMemoryBytes() const {

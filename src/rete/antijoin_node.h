@@ -22,6 +22,11 @@ class AntiJoinNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  void Reset() override {
+    left_memory_.clear();
+    right_support_.clear();
+  }
+
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override { return "AntiJoin"; }

@@ -1,25 +1,65 @@
 #include "rete/delta.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
 namespace pgivm {
 
 Delta Normalize(const Delta& delta) {
-  std::unordered_map<Tuple, int64_t, TupleHash> net;
-  std::vector<Tuple> order;
-  for (const DeltaEntry& entry : delta) {
-    auto [it, inserted] = net.emplace(entry.tuple, 0);
-    if (inserted) order.push_back(entry.tuple);
-    it->second += entry.multiplicity;
-  }
-  Delta out;
-  out.reserve(order.size());
-  for (const Tuple& tuple : order) {
-    int64_t m = net[tuple];
-    if (m != 0) out.push_back({tuple, m});
-  }
+  Delta out = delta;
+  Consolidate(out);
   return out;
+}
+
+void Consolidate(Delta& delta) {
+  if (delta.size() <= 1) {
+    if (delta.size() == 1 && delta[0].multiplicity == 0) delta.clear();
+    return;
+  }
+  // Allocation-free: sort into a canonical order (cached tuple hash, ties
+  // broken lexicographically) and fold equal-tuple runs. This runs on every
+  // wave of batched propagation, so avoiding per-entry hash-table nodes
+  // matters more than preserving arrival order — normalized deltas carry
+  // each tuple once, so their order is semantically irrelevant.
+  std::sort(delta.begin(), delta.end(),
+            [](const DeltaEntry& a, const DeltaEntry& b) {
+              size_t ha = a.tuple.Hash();
+              size_t hb = b.tuple.Hash();
+              if (ha != hb) return ha < hb;
+              return Tuple::Compare(a.tuple, b.tuple) < 0;
+            });
+  size_t write = 0;
+  for (size_t i = 0; i < delta.size();) {
+    size_t j = i + 1;
+    int64_t multiplicity = delta[i].multiplicity;
+    while (j < delta.size() && delta[j].tuple == delta[i].tuple) {
+      multiplicity += delta[j].multiplicity;
+      ++j;
+    }
+    if (multiplicity != 0) {
+      if (write != i) delta[write] = std::move(delta[i]);
+      delta[write].multiplicity = multiplicity;
+      ++write;
+    }
+    i = j;
+  }
+  delta.resize(write);
+}
+
+bool IsConsolidated(const Delta& delta) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (delta[i].multiplicity == 0) return false;
+    if (i == 0) continue;
+    size_t prev = delta[i - 1].tuple.Hash();
+    size_t cur = delta[i].tuple.Hash();
+    if (prev < cur) continue;
+    if (prev > cur ||
+        Tuple::Compare(delta[i - 1].tuple, delta[i].tuple) >= 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string DeltaToString(const Delta& delta) {

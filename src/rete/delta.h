@@ -22,7 +22,21 @@ struct DeltaEntry {
 using Delta = std::vector<DeltaEntry>;
 
 /// Coalesces entries with equal tuples and drops zero-multiplicity entries.
+/// The result is in canonical order (tuple hash, ties lexicographic), not
+/// arrival order — a normalized delta carries each tuple once, so order is
+/// semantically irrelevant.
 Delta Normalize(const Delta& delta);
+
+/// In-place Normalize: merges entries by tuple and drops zero-multiplicity
+/// residue, without allocating. The batched propagation scheduler applies
+/// this to every queued delta between waves, so inverse pairs (+t/−t)
+/// cancel before they are ever delivered downstream.
+void Consolidate(Delta& delta);
+
+/// True if `delta` is already in Normalize's canonical form (strictly
+/// ascending canonical order, no zero multiplicities) — lets consumers on
+/// the hot path skip a redundant re-sort of scheduler-consolidated deltas.
+bool IsConsolidated(const Delta& delta);
 
 std::string DeltaToString(const Delta& delta);
 
@@ -46,6 +60,12 @@ class Bag {
   int64_t total_count() const { return total_; }
 
   const Map& counts() const { return counts_; }
+
+  /// Drops all contents (used when a network is reset for re-attachment).
+  void Clear() {
+    counts_.clear();
+    total_ = 0;
+  }
 
   size_t ApproxMemoryBytes() const;
 

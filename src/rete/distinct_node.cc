@@ -14,7 +14,7 @@ void DistinctNode::OnDelta(int port, const Delta& delta) {
       out.push_back({entry.tuple, -1});
     }
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 }  // namespace pgivm

@@ -15,6 +15,8 @@ class DistinctNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  void Reset() override { support_.Clear(); }
+
   size_t ApproxMemoryBytes() const override {
     return support_.ApproxMemoryBytes();
   }

@@ -10,7 +10,7 @@ void FilterNode::OnDelta(int port, const Delta& delta) {
   for (const DeltaEntry& entry : delta) {
     if (IsTrue(predicate_.Eval(entry.tuple))) out.push_back(entry);
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 std::string FilterNode::DebugString() const {

@@ -119,7 +119,7 @@ void VertexInputNode::HandleChange(const GraphChange& change) {
       if (updated == old) return;
       Delta delta{{old, -1}, {updated, 1}};
       it->second = std::move(updated);
-      Emit(delta);
+      Emit(std::move(delta));
       return;
     }
     case GraphChange::Kind::kAddVertexLabel:
@@ -153,7 +153,7 @@ void VertexInputNode::HandleChange(const GraphChange& change) {
       if (updated == it->second) return;
       Delta delta{{it->second, -1}, {updated, 1}};
       it->second = std::move(updated);
-      Emit(delta);
+      Emit(std::move(delta));
       return;
     }
     default:
@@ -178,7 +178,7 @@ void VertexInputNode::EmitInitialFromGraph() {
   } else {
     graph_->ForEachVertex(consider);
   }
-  Emit(delta);
+  Emit(std::move(delta));
 }
 
 size_t VertexInputNode::ApproxMemoryBytes() const {
@@ -364,7 +364,7 @@ void EdgeInputNode::HandleChange(const GraphChange& change) {
     default:
       return;
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 void EdgeInputNode::EmitInitialFromGraph() {
@@ -387,7 +387,7 @@ void EdgeInputNode::EmitInitialFromGraph() {
   } else {
     graph_->ForEachEdge(consider);
   }
-  Emit(delta);
+  Emit(std::move(delta));
 }
 
 size_t EdgeInputNode::ApproxMemoryBytes() const {

@@ -42,6 +42,8 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
   void HandleChange(const GraphChange& change) override;
   void EmitInitialFromGraph() override;
 
+  void Reset() override { asserted_.clear(); }
+
   size_t ApproxMemoryBytes() const override;
   std::string DebugString() const override;
 
@@ -74,6 +76,8 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
   void OnDelta(int port, const Delta& delta) override;
   void HandleChange(const GraphChange& change) override;
   void EmitInitialFromGraph() override;
+
+  void Reset() override { asserted_.clear(); }
 
   size_t ApproxMemoryBytes() const override;
   std::string DebugString() const override;

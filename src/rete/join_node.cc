@@ -63,7 +63,7 @@ void JoinNode::OnDelta(int port, const Delta& delta) {
       }
     }
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 size_t JoinNode::ApproxMemoryBytes() const {

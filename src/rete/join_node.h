@@ -29,6 +29,11 @@ class JoinNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  void Reset() override {
+    left_memory_.clear();
+    right_memory_.clear();
+  }
+
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override;

@@ -1,15 +1,72 @@
 #include "rete/network.h"
 
+#include <algorithm>
+#include <cassert>
 #include <sstream>
 
 namespace pgivm {
 
+const char* PropagationStrategyName(PropagationStrategy strategy) {
+  switch (strategy) {
+    case PropagationStrategy::kEager:
+      return "eager";
+    case PropagationStrategy::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
 ReteNetwork::~ReteNetwork() { Detach(); }
 
+void ReteNetwork::set_propagation(PropagationStrategy strategy) {
+  assert(attached_graph_ == nullptr &&
+         "change the propagation strategy before Attach");
+  if (attached_graph_ != nullptr) return;  // sinks are installed per Attach
+  propagation_ = strategy;
+}
+
 void ReteNetwork::Attach(PropertyGraph* graph) {
+  assert(graph != nullptr);
+  if (graph == nullptr) return;
+  assert(production_ != nullptr && "Attach requires a production node");
+  if (production_ == nullptr) return;
+  if (attached_graph_ == graph) return;  // double-attach: no-op
+  // The source nodes read the graph they were constructed over; attaching
+  // the network to any other graph would prime from one store while
+  // subscribing to another. Rejected before touching the current
+  // attachment, so a bad call leaves the network in its previous state.
+  assert((primed_graph_ == nullptr || primed_graph_ == graph) &&
+         "a network can only be (re-)attached to the graph it was built "
+         "over");
+  if (primed_graph_ != nullptr && primed_graph_ != graph) return;
+  if (attached_graph_ != nullptr) Detach();
+
+  // A re-attach re-primes from scratch: wipe whatever the previous
+  // attachment left in the node memories.
+  if (primed_graph_ != nullptr) {
+    for (const auto& node : nodes_) node->Reset();
+  }
+  primed_graph_ = graph;
+
+  const bool batched = propagation_ == PropagationStrategy::kBatched;
+  if (batched) {
+    PrepareScheduler();
+  } else {
+    // Drop any scheduler state a previous batched attachment left behind,
+    // so node_level()/DebugString() don't report defunct levels.
+    states_.clear();
+    ready_by_level_.clear();
+  }
+  for (const auto& node : nodes_) {
+    node->set_emit_sink(batched ? this : nullptr);
+  }
+
   attached_graph_ = graph;
+  buffering_ = true;
   for (const auto& node : nodes_) node->EmitInitial();
   for (GraphSourceNode* source : sources_) source->EmitInitialFromGraph();
+  buffering_ = false;
+  if (batched) DrainWaves();
   graph->AddListener(this);
 }
 
@@ -22,11 +79,166 @@ void ReteNetwork::Detach() {
 void ReteNetwork::OnGraphDelta(const GraphDelta& delta) {
   ++deltas_processed_;
   changes_processed_ += static_cast<int64_t>(delta.changes.size());
+  // Eager: each HandleChange cascades depth-first on its own. Batched: the
+  // emit sinks buffer the sources' relational deltas while the *entire*
+  // graph delta is translated, and DrainWaves then moves them through the
+  // network level by level, one consolidated delta per (node, port).
+  buffering_ = true;
   for (const GraphChange& change : delta.changes) {
     for (GraphSourceNode* source : sources_) {
       source->HandleChange(change);
     }
   }
+  buffering_ = false;
+  if (propagation_ == PropagationStrategy::kBatched) DrainWaves();
+}
+
+void ReteNetwork::OnEmit(ReteNode* from, Delta delta) {
+  NodeState& state = states_.at(from);
+  if (state.out.empty()) {
+    state.out = std::move(delta);
+  } else {
+    state.out.insert(state.out.end(),
+                     std::make_move_iterator(delta.begin()),
+                     std::make_move_iterator(delta.end()));
+  }
+  EnqueueReady(from, state);
+  // An emission outside this network's own translate/drain cycle means one
+  // of our nodes was fed externally (chained views: another network
+  // delivering into us). Drain immediately so chained results never go
+  // stale waiting for our next graph delta.
+  if (!buffering_ && !draining_) DrainWaves();
+}
+
+ReteNetwork::PendingDelta& ReteNetwork::PendingFor(NodeState& state,
+                                                   int port) {
+  auto it = state.pending.begin();
+  while (it != state.pending.end() && it->first < port) ++it;
+  if (it == state.pending.end() || it->first != port) {
+    it = state.pending.emplace(it, port, PendingDelta{});
+  }
+  return it->second;
+}
+
+void ReteNetwork::PrepareScheduler() {
+  states_.clear();
+  states_.reserve(nodes_.size());
+  // Every node reachable through the output wiring gets scheduler state —
+  // including subscribers the network does not own (chained views, test
+  // probes), discovered transitively: they have no sink installed, so what
+  // they emit cascades eagerly, but the nodes *they* feed must still be
+  // levelled above them or a wave could enqueue into an already-drained
+  // level bucket.
+  std::vector<ReteNode*> reachable;
+  reachable.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    states_[node.get()];
+    reachable.push_back(node.get());
+  }
+  for (size_t i = 0; i < reachable.size(); ++i) {
+    for (const auto& [down, port] : reachable[i]->outputs()) {
+      (void)port;
+      if (states_.emplace(down, NodeState{}).second) reachable.push_back(down);
+    }
+  }
+  // Relax levels to a fixpoint: level(downstream) > level(upstream). Nodes
+  // are added bottom-up so one pass normally suffices; the loop guards
+  // against exotic wiring orders (and rejects cycles without hanging).
+  int max_level = 0;
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    ++rounds;
+    assert(rounds <= reachable.size() + 1 && "cycle in the Rete network");
+    if (rounds > reachable.size() + 1) break;  // cycle: fail bounded
+    for (ReteNode* node : reachable) {
+      int level = states_.at(node).level;
+      for (const auto& [down, port] : node->outputs()) {
+        (void)port;
+        NodeState& dst = states_.at(down);
+        if (dst.level < level + 1) {
+          dst.level = level + 1;
+          max_level = std::max(max_level, dst.level);
+          changed = true;
+        }
+      }
+    }
+  }
+  ready_by_level_.assign(static_cast<size_t>(max_level) + 1, {});
+}
+
+void ReteNetwork::EnqueueReady(ReteNode* node, NodeState& state) {
+  if (state.queued) return;
+  state.queued = true;
+  ready_by_level_[static_cast<size_t>(state.level)].push_back(node);
+}
+
+void ReteNetwork::FlushNode(ReteNode* node, NodeState& state) {
+  Consolidate(state.out);
+  if (state.out.empty()) return;
+  node->AddEmittedEntries(static_cast<int64_t>(state.out.size()));
+  const auto& outputs = node->outputs();
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    const auto& [down, port] = outputs[i];
+    auto dst_it = states_.find(down);
+    if (dst_it == states_.end()) {
+      // Subscriber wired after Attach (no scheduler state): deliver
+      // directly, eager-style.
+      down->OnDelta(port, state.out);
+      continue;
+    }
+    NodeState& dst = dst_it->second;
+    PendingDelta& pending = PendingFor(dst, port);
+    if (pending.delta.empty()) {
+      // Single consolidated flush: move (for the last subscriber) and mark
+      // clean so delivery skips re-consolidation.
+      if (i + 1 == outputs.size()) {
+        pending.delta = std::move(state.out);
+      } else {
+        pending.delta = state.out;
+      }
+      pending.clean = true;
+    } else {
+      pending.delta.insert(pending.delta.end(), state.out.begin(),
+                           state.out.end());
+      pending.clean = false;
+    }
+    EnqueueReady(down, dst);
+  }
+  state.out.clear();
+}
+
+void ReteNetwork::DrainWaves() {
+  draining_ = true;
+  for (auto& ready : ready_by_level_) {
+    // Appends only target strictly higher levels, so iterating by index
+    // while lower levels flush into this one is safe; a level never grows
+    // while it is being drained.
+    for (size_t i = 0; i < ready.size(); ++i) {
+      ReteNode* node = ready[i];
+      NodeState& state = states_.at(node);
+      for (auto& [port, pending] : state.pending) {
+        if (!pending.clean) Consolidate(pending.delta);
+        if (!pending.delta.empty()) node->OnDelta(port, pending.delta);
+        // Empty in place (not pending.clear()): the slots and their Delta
+        // buffers survive, so steady-state waves do not re-allocate.
+        pending.delta.clear();
+        pending.clean = false;
+      }
+      FlushNode(node, state);
+      // Cleared only after the flush: emissions from the node's own wave
+      // must not re-enqueue it (nothing new can arrive at this level).
+      state.queued = false;
+    }
+    ready.clear();
+  }
+  draining_ = false;
+}
+
+int ReteNetwork::node_level(const ReteNode* node) const {
+  auto it = states_.find(node);
+  return it == states_.end() ? -1 : it->second.level;
 }
 
 int64_t ReteNetwork::TotalEmittedEntries() const {
@@ -43,8 +255,12 @@ size_t ReteNetwork::ApproxMemoryBytes() const {
 
 std::string ReteNetwork::DebugString() const {
   std::ostringstream os;
+  os << "propagation=" << PropagationStrategyName(propagation_) << "\n";
   for (const auto& node : nodes_) {
-    os << node->DebugString() << "  mem=" << node->ApproxMemoryBytes()
+    os << node->DebugString();
+    int level = node_level(node.get());
+    if (level >= 0) os << "  level=" << level;
+    os << "  mem=" << node->ApproxMemoryBytes()
        << "B emitted=" << node->emitted_entries() << "\n";
   }
   return os.str();

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/property_graph.h"
@@ -12,14 +14,37 @@
 
 namespace pgivm {
 
+/// How a network moves deltas from its source nodes to the production.
+enum class PropagationStrategy {
+  /// Per-change depth-first recursion: every GraphChange is translated and
+  /// cascaded through the whole network on its own. Simple, but an N-change
+  /// batch costs N full traversals and inverse pairs (+t/−t on the same
+  /// tuple) are propagated instead of cancelled. Kept as the ablation
+  /// baseline and for latency-sensitive single-change streams.
+  kEager,
+
+  /// Batched, topologically scheduled waves: the whole GraphDelta is first
+  /// translated into one buffered relational delta per source, then nodes
+  /// are drained level by level, each receiving one *consolidated* delta
+  /// per input port per wave. Inverse pairs cancel before delivery, so a
+  /// batch that adds and removes the same tuple propagates nothing.
+  kBatched,
+};
+
+const char* PropagationStrategyName(PropagationStrategy strategy);
+
 /// One compiled Rete network: owns its nodes, routes graph deltas into the
 /// source nodes, and exposes the production (view) root.
 ///
 /// Lifecycle: the builder wires the nodes bottom-up; Attach() then (a) emits
 /// structural initial output (key-less aggregates), (b) feeds the current
 /// graph content through the source nodes, and (c) subscribes to the graph.
-/// Detach() (or destruction) unsubscribes.
-class ReteNetwork : public GraphListener {
+/// Detach() (or destruction) unsubscribes. Re-attaching after Detach()
+/// resets every node memory and primes the network afresh; attaching twice
+/// to the same graph is a no-op. A network is permanently bound to the
+/// graph its source nodes were built over — attaching it to a *different*
+/// graph is rejected (the sources read their construction-time graph).
+class ReteNetwork : public GraphListener, private EmitSink {
  public:
   ReteNetwork() = default;
   ~ReteNetwork() override;
@@ -44,12 +69,26 @@ class ReteNetwork : public GraphListener {
 
   ProductionNode* production() const { return production_; }
 
-  /// Starts maintaining against `graph` (see class comment).
+  /// Selects the propagation strategy. Must be called before Attach().
+  void set_propagation(PropagationStrategy strategy);
+  PropagationStrategy propagation() const { return propagation_; }
+
+  /// Starts maintaining against `graph` (see class comment). Requires a
+  /// production node. Attaching while already attached is a no-op, as is
+  /// attaching to any graph other than the one the network was first
+  /// primed over (asserted in debug builds).
   void Attach(PropertyGraph* graph);
   void Detach();
 
+  bool attached() const { return attached_graph_ != nullptr; }
+
   // GraphListener:
   void OnGraphDelta(const GraphDelta& delta) override;
+
+  /// Topological level assigned to `node` by the batched scheduler
+  /// (sources are level 0); -1 before the first batched Attach or for
+  /// foreign nodes. Exposed for tests and diagnostics.
+  int node_level(const ReteNode* node) const;
 
   /// Sum of all node memories.
   size_t ApproxMemoryBytes() const;
@@ -63,15 +102,69 @@ class ReteNetwork : public GraphListener {
 
   /// Lifetime sum of delta entries emitted by all nodes — the total
   /// propagation volume through this network (the FGN experiments' metric).
+  /// Under kBatched, emissions are counted after consolidation, so
+  /// cancelled inverse pairs do not contribute.
   int64_t TotalEmittedEntries() const;
 
  private:
+  /// One input port's queued delta. `clean` means the content is a single
+  /// already-consolidated upstream flush (the common fan-in-tree case), so
+  /// delivery can skip re-consolidating it.
+  struct PendingDelta {
+    Delta delta;
+    bool clean = false;
+  };
+
+  /// Per-node scheduler state: topological level, the deltas queued on each
+  /// input port since the node last ran, and the emissions it buffered
+  /// while running (flushed downstream as one consolidated delta). The
+  /// pending list is kept sorted by port (delivery order 0, 1, ...); it is
+  /// a flat vector because real nodes have at most two ports.
+  struct NodeState {
+    int level = 0;
+    bool queued = false;
+    std::vector<std::pair<int, PendingDelta>> pending;
+    Delta out;
+  };
+
+  // EmitSink: buffers `from`'s emission for the current wave.
+  void OnEmit(ReteNode* from, Delta delta) override;
+
+  /// The pending slot for `port` of `state`, inserted in port order.
+  static PendingDelta& PendingFor(NodeState& state, int port);
+
+  /// Computes topological levels and allocates scheduler state. Re-run on
+  /// every Attach so nodes/edges wired between attachments are covered.
+  void PrepareScheduler();
+
+  void EnqueueReady(ReteNode* node, NodeState& state);
+
+  /// Consolidates `node`'s buffered output, accounts it, and appends it to
+  /// each downstream (node, port) pending queue.
+  void FlushNode(ReteNode* node, NodeState& state);
+
+  /// Drains all queued work level by level until the network is quiescent.
+  void DrainWaves();
+
   std::vector<std::unique_ptr<ReteNode>> nodes_;
   std::vector<GraphSourceNode*> sources_;
   ProductionNode* production_ = nullptr;
   PropertyGraph* attached_graph_ = nullptr;
+  /// The graph this network was first primed over; re-attachment is only
+  /// valid to the same graph (source nodes capture it at construction).
+  PropertyGraph* primed_graph_ = nullptr;
   int64_t deltas_processed_ = 0;
   int64_t changes_processed_ = 0;
+
+  PropagationStrategy propagation_ = PropagationStrategy::kBatched;
+  /// True while a graph delta is being translated into source buffers
+  /// (drain deferred until translation finishes) / while DrainWaves runs.
+  /// An OnEmit with neither set is an externally fed node (chained views)
+  /// and triggers an immediate drain.
+  bool buffering_ = false;
+  bool draining_ = false;
+  std::unordered_map<const ReteNode*, NodeState> states_;
+  std::vector<std::vector<ReteNode*>> ready_by_level_;
 };
 
 }  // namespace pgivm

@@ -249,6 +249,7 @@ Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
     const OpPtr& plan, const PropertyGraph* graph,
     const NetworkOptions& options) {
   auto network = std::make_unique<ReteNetwork>();
+  network->set_propagation(options.propagation);
   Builder builder(network.get(), graph, options);
   PGIVM_ASSIGN_OR_RETURN(ReteNode* root, builder.Build(plan));
   auto* production =

@@ -14,6 +14,11 @@ struct NetworkOptions {
   /// Fold unnest deltas per kept-column projection and emit element-level
   /// differences (the FGN behaviour). Off = the E4 ablation baseline.
   bool fine_grained_unnest = true;
+
+  /// How deltas travel through the network (see PropagationStrategy).
+  /// kBatched consolidates per-(node, port) queues between topological
+  /// waves — the default; kEager is the seed's per-change recursion.
+  PropagationStrategy propagation = PropagationStrategy::kBatched;
 };
 
 /// Instantiates the FRA plan (paper step 4) as a Rete network over `graph`.

@@ -10,13 +10,27 @@
 
 namespace pgivm {
 
+class ReteNode;
+
+/// Interception point for node emissions. When a sink is installed on a
+/// node (batched propagation), Emit() hands the delta to the sink instead
+/// of recursing into downstream OnDelta calls; the network's wave scheduler
+/// buffers, consolidates and delivers it level by level.
+class EmitSink {
+ public:
+  virtual ~EmitSink() = default;
+  /// Takes the delta by value so rvalue emissions move instead of copying.
+  virtual void OnEmit(ReteNode* from, Delta delta) = 0;
+};
+
 /// Base class of all Rete dataflow nodes.
 ///
 /// A node receives bag deltas on numbered input ports (0 for unary nodes,
 /// 0/1 for binary ones), updates its internal memory, and emits the derived
-/// delta to its downstream subscribers. Propagation is synchronous and
-/// depth-first; networks are fan-in trees (no shared sub-networks), so no
-/// glitch handling is needed.
+/// delta to its downstream subscribers. With no emit sink installed,
+/// propagation is synchronous and depth-first; networks are fan-in trees
+/// (no shared sub-networks), so no glitch handling is needed. With a sink
+/// installed the owning network schedules delivery instead.
 class ReteNode {
  public:
   explicit ReteNode(Schema schema) : schema_(std::move(schema)) {}
@@ -34,10 +48,24 @@ class ReteNode {
   /// in topological order, before feeding any graph state.
   virtual void EmitInitial() {}
 
+  /// Clears all node memories, returning the node to its pre-Attach state
+  /// so the network can be primed again (always against the same graph —
+  /// graph-boundary nodes capture their graph at construction). Stateless
+  /// nodes need not override.
+  virtual void Reset() {}
+
   /// Subscribes `node` to this node's output, delivering to its `port`.
   void AddOutput(ReteNode* node, int port) {
     outputs_.emplace_back(node, port);
   }
+
+  /// Downstream subscribers as (node, port) pairs, in subscription order.
+  const std::vector<std::pair<ReteNode*, int>>& outputs() const {
+    return outputs_;
+  }
+
+  /// Installs (or with nullptr removes) the emission interception sink.
+  void set_emit_sink(EmitSink* sink) { sink_ = sink; }
 
   const Schema& schema() const { return schema_; }
 
@@ -51,16 +79,48 @@ class ReteNode {
   int64_t emitted_entries() const { return emitted_entries_; }
 
  protected:
-  /// Forwards `delta` to every subscriber (no-op for empty deltas).
+  /// Forwards `delta` to every subscriber (no-op for empty deltas). When a
+  /// sink is installed, the delta is buffered there instead and counted
+  /// against emitted_entries() only after consolidation, so cancelled
+  /// inverse pairs never show up in the propagation volume.
   void Emit(const Delta& delta) {
     if (delta.empty()) return;
+    if (outputs_.empty()) {  // terminal node: account, skip buffering
+      emitted_entries_ += static_cast<int64_t>(delta.size());
+      return;
+    }
+    if (sink_ != nullptr) {
+      sink_->OnEmit(this, delta);
+      return;
+    }
+    emitted_entries_ += static_cast<int64_t>(delta.size());
+    for (auto& [node, port] : outputs_) node->OnDelta(port, delta);
+  }
+
+  /// Rvalue overload: hands the buffer to the sink without copying. Call
+  /// with std::move when the delta is a dying local.
+  void Emit(Delta&& delta) {
+    if (delta.empty()) return;
+    if (outputs_.empty()) {  // terminal node: account, skip buffering
+      emitted_entries_ += static_cast<int64_t>(delta.size());
+      return;
+    }
+    if (sink_ != nullptr) {
+      sink_->OnEmit(this, std::move(delta));
+      return;
+    }
     emitted_entries_ += static_cast<int64_t>(delta.size());
     for (auto& [node, port] : outputs_) node->OnDelta(port, delta);
   }
 
  private:
+  friend class ReteNetwork;  // accounts consolidated emissions on flush
+
+  void AddEmittedEntries(int64_t n) { emitted_entries_ += n; }
+
   Schema schema_;
   std::vector<std::pair<ReteNode*, int>> outputs_;
+  EmitSink* sink_ = nullptr;
   int64_t emitted_entries_ = 0;
 };
 

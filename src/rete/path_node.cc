@@ -109,6 +109,9 @@ int64_t PathInputNode::ForwardLimit() const {
 }
 
 void PathInputNode::AddPath(Path path, Delta& out) {
+  // A trail already stored was found again via another of its edges (they
+  // can both be new in one multi-change graph delta): assert it only once.
+  if (!trail_keys_.insert(path.edges()).second) return;
   int64_t id = next_path_id_++;
   out.push_back({MakeTuple(path), 1});
   for (EdgeId e : path.edges()) edge_index_[e].push_back(id);
@@ -130,6 +133,7 @@ void PathInputNode::RemovePathsContaining(EdgeId e, Delta& out) {
       vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
       if (vec.empty()) edge_index_.erase(eit);
     }
+    trail_keys_.erase(pit->second.edges());
     paths_.erase(pit);
   }
 }
@@ -192,7 +196,7 @@ void PathInputNode::HandleChange(const GraphChange& change) {
     default:
       return;
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 void PathInputNode::EmitInitialFromGraph() {
@@ -214,7 +218,7 @@ void PathInputNode::EmitInitialFromGraph() {
                  AddPath(Path(pv, pe), out);
                });
   });
-  Emit(out);
+  Emit(std::move(out));
 }
 
 size_t PathInputNode::ApproxMemoryBytes() const {

@@ -36,6 +36,14 @@ class PathInputNode : public ReteNode, public GraphSourceNode {
   void HandleChange(const GraphChange& change) override;
   void EmitInitialFromGraph() override;
 
+  void Reset() override {
+    paths_.clear();
+    edge_index_.clear();
+    trail_keys_.clear();
+    zero_asserted_.clear();
+    next_path_id_ = 0;
+  }
+
   size_t ApproxMemoryBytes() const override;
   std::string DebugString() const override;
 
@@ -86,9 +94,25 @@ class PathInputNode : public ReteNode, public GraphSourceNode {
   int64_t max_hops_;  // -1 = unbounded (trail property still bounds length)
   bool emit_path_;
 
+  struct EdgeSeqHash {
+    size_t operator()(const std::vector<EdgeId>& edges) const {
+      size_t h = 0x9e3779b97f4a7c15ULL;
+      for (EdgeId e : edges) {
+        h = (h ^ static_cast<size_t>(e)) * 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+
   int64_t next_path_id_ = 0;
   std::unordered_map<int64_t, Path> paths_;
   std::unordered_map<EdgeId, std::vector<int64_t>> edge_index_;
+  /// Edge sequences of the stored trails (a trail is uniquely determined by
+  /// its edges). Guards AddPath against double-assertion: a trail running
+  /// through several edges added in the *same* graph delta is enumerated
+  /// once per such edge, because each kAddEdge is translated against the
+  /// final (fully applied) graph state.
+  std::unordered_set<std::vector<EdgeId>, EdgeSeqHash> trail_keys_;
   std::unordered_set<VertexId> zero_asserted_;  // min_hops == 0 only
 };
 

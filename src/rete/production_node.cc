@@ -6,15 +6,22 @@ namespace pgivm {
 
 void ProductionNode::OnDelta(int port, const Delta& delta) {
   (void)port;
-  Delta net = Normalize(delta);
-  if (net.empty()) return;
-  for (const DeltaEntry& entry : net) {
+  // The batched scheduler delivers already-consolidated deltas; only
+  // re-normalize the eager path's raw ones.
+  Delta normalized;
+  const Delta* net = &delta;
+  if (!IsConsolidated(delta)) {
+    normalized = Normalize(delta);
+    net = &normalized;
+  }
+  if (net->empty()) return;
+  for (const DeltaEntry& entry : *net) {
     results_.Apply(entry.tuple, entry.multiplicity);
   }
   for (ViewChangeListener* listener : listeners_) {
-    listener->OnViewDelta(net);
+    listener->OnViewDelta(*net);
   }
-  Emit(net);  // Views can be chained (used by tests).
+  Emit(*net);  // Views can be chained (used by tests).
 }
 
 std::vector<Tuple> ProductionNode::SortedSnapshot() const {

@@ -24,6 +24,8 @@ class ProductionNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  void Reset() override { results_.Clear(); }
+
   /// Current result bag (tuple -> multiplicity).
   const Bag& results() const { return results_; }
 

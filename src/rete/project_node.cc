@@ -14,7 +14,7 @@ void ProjectNode::OnDelta(int port, const Delta& delta) {
     }
     out.push_back({Tuple(std::move(values)), entry.multiplicity});
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 }  // namespace pgivm

@@ -40,7 +40,7 @@ void SemiJoinNode::OnDelta(int port, const Delta& delta) {
       }
     }
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 size_t SemiJoinNode::ApproxMemoryBytes() const {

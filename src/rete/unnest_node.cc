@@ -34,7 +34,7 @@ void UnnestNode::OnDelta(int port, const Delta& delta) {
         out.push_back({kept.Append(std::move(element)), m});
       }
     }
-    Emit(out);
+    Emit(std::move(out));
     return;
   }
 
@@ -56,7 +56,7 @@ void UnnestNode::OnDelta(int port, const Delta& delta) {
       if (m != 0) out.push_back({kept.Append(element), m});
     }
   }
-  Emit(out);
+  Emit(std::move(out));
 }
 
 std::string UnnestNode::DebugString() const {

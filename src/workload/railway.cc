@@ -84,7 +84,11 @@ void RailwayGenerator::Populate(PropertyGraph* graph) {
 
 void RailwayGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
   uint64_t pick = rng_.NextBelow(100);
-  graph->BeginBatch();
+  // Open a batch only when the caller has not: callers compose several
+  // updates into one atomic delta by wrapping calls in BeginBatch/
+  // CommitBatch themselves (batches do not nest).
+  const bool own_batch = !graph->in_batch();
+  if (own_batch) graph->BeginBatch();
   if (pick < 30 && !segments_.empty()) {
     // Repair or break a segment length.
     VertexId segment = segments_[rng_.NextBelow(segments_.size())];
@@ -128,7 +132,7 @@ void RailwayGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
       (void)graph->AddEdge(route, sensor, "requires");
     }
   }
-  graph->CommitBatch();
+  if (own_batch) graph->CommitBatch();
 }
 
 }  // namespace pgivm

@@ -50,7 +50,8 @@ class RailwayGenerator {
   void Populate(PropertyGraph* graph);
 
   /// Applies one random repair-or-break operation (Train Benchmark's
-  /// continuous validation loop).
+  /// continuous validation loop). Emits one delta per call, unless the
+  /// caller is composing a larger batch (then the changes join it).
   void ApplyRandomUpdate(PropertyGraph* graph);
 
   /// The well-formedness constraint queries, in the supported fragment.

@@ -47,7 +47,11 @@ void RandomGraphGenerator::Populate(PropertyGraph* graph) {
 
 void RandomGraphGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
   uint64_t pick = rng_.NextBelow(100);
-  graph->BeginBatch();
+  // Open a batch only when the caller has not: callers compose several
+  // updates into one atomic delta by wrapping calls in BeginBatch/
+  // CommitBatch themselves (batches do not nest).
+  const bool own_batch = !graph->in_batch();
+  if (own_batch) graph->BeginBatch();
   if (pick < 12) {
     // Add a vertex.
     std::vector<std::string> labels;
@@ -101,7 +105,7 @@ void RandomGraphGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
       (void)graph->AddVertexLabel(v, label);
     }
   }
-  graph->CommitBatch();
+  if (own_batch) graph->CommitBatch();
 
   // Compact dead ids occasionally so random picks stay mostly live.
   if (rng_.NextBelow(32) == 0) {

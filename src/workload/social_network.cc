@@ -107,7 +107,11 @@ void SocialNetworkGenerator::Populate(PropertyGraph* graph) {
 
 void SocialNetworkGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
   uint64_t pick = rng_.NextBelow(100);
-  graph->BeginBatch();
+  // Open a batch only when the caller has not: callers compose several
+  // updates into one atomic delta by wrapping calls in BeginBatch/
+  // CommitBatch themselves (batches do not nest).
+  const bool own_batch = !graph->in_batch();
+  if (own_batch) graph->BeginBatch();
   if (pick < 35) {
     // New reply comment under a random message.
     AddReply(graph, RandomMessage());
@@ -157,7 +161,7 @@ void SocialNetworkGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
       break;
     }
   }
-  graph->CommitBatch();
+  if (own_batch) graph->CommitBatch();
 }
 
 }  // namespace pgivm

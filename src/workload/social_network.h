@@ -46,7 +46,9 @@ class SocialNetworkGenerator {
 
   /// Applies one random update drawn from the SNB-like operation mix:
   /// new reply comment, new like, new knows edge, language flip, profile
-  /// language append/removal, or leaf-comment deletion.
+  /// language append/removal, or leaf-comment deletion. Emits one delta
+  /// per call, unless the caller is composing a larger batch (then the
+  /// changes join it).
   void ApplyRandomUpdate(PropertyGraph* graph);
 
   const std::vector<VertexId>& persons() const { return persons_; }

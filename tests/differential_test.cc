@@ -63,6 +63,102 @@ TEST_P(DifferentialTest, ViewMatchesBaselineAfterEveryUpdate) {
   }
 }
 
+// ---- Randomized harness ----------------------------------------------------
+//
+// For several RNG seeds and both propagation strategies, drive a mixed
+// stream of single-change updates and BeginBatch/CommitBatch bursts through
+// a pool of standing views covering joins, anti-joins, aggregation,
+// DISTINCT, unnest and variable-length paths, and after *every* delta
+// assert each view's Snapshot() against a fresh EvaluateOnce().
+
+const char* const kHarnessQueries[] = {
+    "MATCH (a:A)-[r:R]->(b:B) RETURN a, r, b",
+    "MATCH (a:A)-[:R]->(b)-[:S]->(c) RETURN a, b, c",
+    "MATCH (a:A) WHERE exists((a)-[:R]->(:B)) RETURN a",
+    "MATCH (a:A) WHERE NOT exists((a)-[:S]->()) RETURN a",
+    "MATCH (a:A)-[:R]->(b) RETURN b AS t, count(*) AS c, sum(a.x) AS s",
+    "MATCH (a:A)-[:R]->(b) RETURN DISTINCT b",
+    "MATCH (n:B) UNWIND n.tags AS t RETURN t, count(*) AS c",
+    "MATCH (a:A)-[:R*1..3]->(b) RETURN a, b",
+    "MATCH (a:A) OPTIONAL MATCH (a)-[r:R]->(b:B) RETURN a, b",
+    "MATCH (n:A) WHERE n.x > 1 RETURN n, n.x AS x",
+};
+
+struct HarnessCase {
+  uint64_t seed;
+  PropagationStrategy strategy;
+};
+
+class RandomizedDifferentialTest
+    : public ::testing::TestWithParam<HarnessCase> {};
+
+TEST_P(RandomizedDifferentialTest, AllViewsMatchEvaluateOnceAfterEveryDelta) {
+  const HarnessCase& param = GetParam();
+
+  EngineOptions options;
+  options.network.propagation = param.strategy;
+
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.seed = param.seed;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine engine(&graph, options);
+  std::vector<std::shared_ptr<View>> views;
+  for (const char* query : kHarnessQueries) {
+    Result<std::shared_ptr<View>> view = engine.Register(query);
+    ASSERT_TRUE(view.ok()) << query << ": " << view.status();
+    views.push_back(*view);
+  }
+
+  Rng control(param.seed * 7919 + 13);
+  constexpr int kDeltas = 40;
+  for (int step = 0; step < kDeltas; ++step) {
+    // Alternate randomly between single-change deltas and bursts of 2–8
+    // changes committed as one atomic batch.
+    if (control.NextBool(0.4)) {
+      int burst = static_cast<int>(control.NextInRange(2, 8));
+      graph.BeginBatch();
+      for (int i = 0; i < burst; ++i) generator.ApplyRandomUpdate(&graph);
+      graph.CommitBatch();
+    } else {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    for (size_t q = 0; q < views.size(); ++q) {
+      Result<std::vector<Tuple>> expected =
+          engine.EvaluateOnce(kHarnessQueries[q]);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      std::vector<Tuple> actual = views[q]->Snapshot();
+      ASSERT_EQ(actual.size(), expected.value().size())
+          << kHarnessQueries[q] << " diverged at step " << step;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        ASSERT_EQ(Tuple::Compare(actual[i], expected.value()[i]), 0)
+            << kHarnessQueries[q] << " step " << step << " row " << i
+            << ": " << actual[i].ToString() << " vs "
+            << expected.value()[i].ToString();
+      }
+    }
+  }
+}
+
+std::vector<HarnessCase> HarnessCases() {
+  std::vector<HarnessCase> cases;
+  for (uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
+    cases.push_back({seed, PropagationStrategy::kEager});
+    cases.push_back({seed, PropagationStrategy::kBatched});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, RandomizedDifferentialTest,
+    ::testing::ValuesIn(HarnessCases()),
+    [](const ::testing::TestParamInfo<HarnessCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             PropagationStrategyName(info.param.strategy);
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     Queries, DifferentialTest,
     ::testing::Values(

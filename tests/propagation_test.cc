@@ -1,0 +1,611 @@
+// Tests of the batched, topologically scheduled propagation pipeline:
+// eager/batched parity, consolidation (inverse pairs cancel before they
+// reach the production), per-(node, port) queue ordering across the binary
+// node types, and the Attach/Detach lifecycle guards.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "rete/antijoin_node.h"
+#include "rete/distinct_node.h"
+#include "rete/join_node.h"
+#include "rete/network.h"
+#include "rete/semijoin_node.h"
+#include "rete/union_node.h"
+#include "workload/random_graph.h"
+
+namespace pgivm {
+namespace {
+
+class RecordingListener : public ViewChangeListener {
+ public:
+  void OnViewDelta(const Delta& delta) override {
+    ++calls;
+    for (const DeltaEntry& entry : delta) {
+      (void)entry;
+      ++entries;
+    }
+  }
+  int calls = 0;
+  int64_t entries = 0;
+};
+
+EngineOptions WithStrategy(PropagationStrategy strategy) {
+  EngineOptions options;
+  options.network.propagation = strategy;
+  return options;
+}
+
+// ---- strategy threading ----------------------------------------------------
+
+TEST(PropagationOptions, DefaultIsBatchedAndFlagThreadsThrough) {
+  PropertyGraph graph;
+  QueryEngine batched_engine(&graph);
+  auto batched = batched_engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  EXPECT_EQ((*batched)->propagation(), PropagationStrategy::kBatched);
+
+  QueryEngine eager_engine(&graph, WithStrategy(PropagationStrategy::kEager));
+  auto eager = eager_engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(eager.ok()) << eager.status();
+  EXPECT_EQ((*eager)->propagation(), PropagationStrategy::kEager);
+}
+
+// ---- parity: batched and eager maintain identical views --------------------
+
+TEST(PropagationParity, SnapshotsMatchUnderMixedSingleAndBatchUpdates) {
+  const std::vector<std::string> queries = {
+      "MATCH (a:A)-[r:R]->(b:B) RETURN a, r, b",
+      "MATCH (a:A)-[:R]->(b)-[:S]->(c) RETURN a, b, c",
+      "MATCH (a:A) WHERE NOT exists((a)-[:S]->()) RETURN a",
+      "MATCH (a:A)-[:R]->(b) RETURN b AS t, count(*) AS c, sum(a.x) AS s",
+      "MATCH (a:A)-[:R]->(b) RETURN DISTINCT b",
+      "MATCH (n:B) UNWIND n.tags AS t RETURN t, count(*) AS c",
+      "MATCH (a:A)-[:R*1..3]->(b) RETURN a, b",
+      "MATCH (a:A) OPTIONAL MATCH (a)-[r:R]->(b:B) RETURN a, b",
+  };
+
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.seed = 77;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+
+  QueryEngine eager_engine(&graph, WithStrategy(PropagationStrategy::kEager));
+  QueryEngine batched_engine(&graph);
+  std::vector<std::shared_ptr<View>> eager_views;
+  std::vector<std::shared_ptr<View>> batched_views;
+  for (const std::string& query : queries) {
+    auto eager = eager_engine.Register(query);
+    ASSERT_TRUE(eager.ok()) << query << ": " << eager.status();
+    eager_views.push_back(*eager);
+    auto batched = batched_engine.Register(query);
+    ASSERT_TRUE(batched.ok()) << query << ": " << batched.status();
+    batched_views.push_back(*batched);
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    if (step % 3 == 2) {
+      graph.BeginBatch();
+      for (int i = 0; i < 5; ++i) generator.ApplyRandomUpdate(&graph);
+      graph.CommitBatch();
+    } else {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    for (size_t q = 0; q < queries.size(); ++q) {
+      std::vector<Tuple> eager_rows = eager_views[q]->Snapshot();
+      std::vector<Tuple> batched_rows = batched_views[q]->Snapshot();
+      ASSERT_EQ(eager_rows.size(), batched_rows.size())
+          << queries[q] << " diverged at step " << step;
+      for (size_t i = 0; i < eager_rows.size(); ++i) {
+        ASSERT_EQ(Tuple::Compare(eager_rows[i], batched_rows[i]), 0)
+            << queries[q] << " step " << step << " row " << i << ": "
+            << eager_rows[i].ToString() << " vs "
+            << batched_rows[i].ToString();
+      }
+    }
+  }
+
+  // Consolidation can only shrink the propagation volume.
+  int64_t eager_entries = 0;
+  int64_t batched_entries = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    eager_entries += eager_views[q]->network().TotalEmittedEntries();
+    batched_entries += batched_views[q]->network().TotalEmittedEntries();
+  }
+  EXPECT_LE(batched_entries, eager_entries);
+}
+
+// ---- consolidation: inverse pairs cancel -----------------------------------
+
+TEST(Consolidation, AddRemoveEdgeBatchReachesProductionAsEmptyDelta) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({"A"});
+  VertexId b = graph.AddVertex({"B"});
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (a:A)-[r:R]->(b:B) RETURN a, b");
+  ASSERT_TRUE(view.ok()) << view.status();
+
+  RecordingListener listener;
+  (*view)->AddListener(&listener);
+  int64_t before = (*view)->network().TotalEmittedEntries();
+
+  graph.BeginBatch();
+  EdgeId e = graph.AddEdge(a, b, "R").value();
+  ASSERT_TRUE(graph.RemoveEdge(e).ok());
+  graph.CommitBatch();
+
+  // The +tuple/−tuple pair cancels at the source: nothing propagates.
+  EXPECT_EQ((*view)->network().TotalEmittedEntries(), before);
+  EXPECT_EQ(listener.calls, 0);
+  EXPECT_EQ((*view)->size(), 0);
+  (*view)->RemoveListener(&listener);
+}
+
+TEST(Consolidation, AddRemoveVertexBatchPropagatesNothing) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(view.ok()) << view.status();
+  int64_t before = (*view)->network().TotalEmittedEntries();
+
+  graph.BeginBatch();
+  VertexId v = graph.AddVertex({"A"});
+  ASSERT_TRUE(graph.RemoveVertex(v).ok());
+  graph.CommitBatch();
+
+  EXPECT_EQ((*view)->network().TotalEmittedEntries(), before);
+  EXPECT_EQ((*view)->size(), 0);
+}
+
+TEST(Consolidation, PropertyFlipFlopInBatchPropagatesNothing) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({"A"}, {{"x", Value::Int(1)}});
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (n:A) RETURN n, n.x AS x");
+  ASSERT_TRUE(view.ok()) << view.status();
+  int64_t before = (*view)->network().TotalEmittedEntries();
+
+  graph.BeginBatch();
+  ASSERT_TRUE(graph.SetVertexProperty(v, "x", Value::Int(2)).ok());
+  ASSERT_TRUE(graph.SetVertexProperty(v, "x", Value::Int(1)).ok());
+  graph.CommitBatch();
+
+  EXPECT_EQ((*view)->network().TotalEmittedEntries(), before);
+  EXPECT_EQ((*view)->size(), 1);
+}
+
+TEST(Consolidation, BatchOfInsertsCoalescesToOneListenerCall) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(view.ok()) << view.status();
+  RecordingListener listener;
+  (*view)->AddListener(&listener);
+
+  graph.BeginBatch();
+  for (int i = 0; i < 10; ++i) graph.AddVertex({"A"});
+  graph.CommitBatch();
+
+  EXPECT_EQ(listener.calls, 1);
+  EXPECT_EQ(listener.entries, 10);
+  EXPECT_EQ((*view)->size(), 10);
+  (*view)->RemoveListener(&listener);
+}
+
+TEST(Consolidation, EagerPropagatesEveryChangeSeparately) {
+  PropertyGraph graph;
+  QueryEngine engine(&graph, WithStrategy(PropagationStrategy::kEager));
+  auto view = engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(view.ok()) << view.status();
+  RecordingListener listener;
+  (*view)->AddListener(&listener);
+
+  graph.BeginBatch();
+  for (int i = 0; i < 10; ++i) graph.AddVertex({"A"});
+  graph.CommitBatch();
+
+  // The seed behaviour, kept as ablation baseline: one cascade per change.
+  EXPECT_EQ(listener.calls, 10);
+  EXPECT_EQ((*view)->size(), 10);
+  (*view)->RemoveListener(&listener);
+}
+
+// ---- per-(node, port) queues across the binary node types ------------------
+
+/// A two-source network: [:A] vertices feed port 0 and [:B] vertices feed
+/// port 1 of one binary node, whose output is materialized by a production.
+/// Both input schemas are [v], so the natural-join key is the vertex itself
+/// — a vertex labelled both :A and :B reaches both ports in the same wave.
+struct BinaryFixture {
+  static Schema VSchema() {
+    return Schema({{"v", Attribute::Kind::kVertex}});
+  }
+
+  void Build(std::unique_ptr<ReteNode> node, PropagationStrategy strategy) {
+    Schema vs = VSchema();
+    auto* left = network.Add(std::make_unique<VertexInputNode>(
+        vs, &graph, std::vector<std::string>{"A"},
+        std::vector<PropertyExtract>{}));
+    network.RegisterSource(left);
+    auto* right = network.Add(std::make_unique<VertexInputNode>(
+        vs, &graph, std::vector<std::string>{"B"},
+        std::vector<PropertyExtract>{}));
+    network.RegisterSource(right);
+    binary = network.Add(std::move(node));
+    left->AddOutput(binary, 0);
+    right->AddOutput(binary, 1);
+    production = network.Add(std::make_unique<ProductionNode>(vs));
+    binary->AddOutput(production, 0);
+    network.SetProduction(production);
+    network.set_propagation(strategy);
+    network.Attach(&graph);
+    left_node = left;
+    right_node = right;
+  }
+
+  PropertyGraph graph;
+  ReteNetwork network;
+  ReteNode* left_node = nullptr;
+  ReteNode* right_node = nullptr;
+  ReteNode* binary = nullptr;
+  ProductionNode* production = nullptr;
+};
+
+TEST(QueueOrdering, SchedulerAssignsTopologicalLevels) {
+  BinaryFixture fixture;
+  Schema vs = BinaryFixture::VSchema();
+  fixture.Build(std::make_unique<JoinNode>(vs, vs, vs),
+                PropagationStrategy::kBatched);
+  EXPECT_EQ(fixture.network.node_level(fixture.left_node), 0);
+  EXPECT_EQ(fixture.network.node_level(fixture.right_node), 0);
+  EXPECT_EQ(fixture.network.node_level(fixture.binary), 1);
+  EXPECT_EQ(fixture.network.node_level(fixture.production), 2);
+}
+
+TEST(QueueOrdering, JoinReceivesBothPortsOnceAndProducesOneRow) {
+  BinaryFixture fixture;
+  Schema vs = BinaryFixture::VSchema();
+  fixture.Build(std::make_unique<JoinNode>(vs, vs, vs),
+                PropagationStrategy::kBatched);
+  RecordingListener listener;
+  fixture.production->AddListener(&listener);
+
+  // One wave delivers port 0 (ΔL ⋈ R_old) then port 1 (L_new ⋈ ΔR): the
+  // new row must be produced exactly once, not zero or two times.
+  fixture.graph.BeginBatch();
+  VertexId v = fixture.graph.AddVertex({"A", "B"});
+  fixture.graph.CommitBatch();
+
+  EXPECT_EQ(fixture.production->results().total_count(), 1);
+  EXPECT_EQ(listener.calls, 1);
+  EXPECT_EQ(listener.entries, 1);
+
+  fixture.graph.BeginBatch();
+  ASSERT_TRUE(fixture.graph.RemoveVertex(v).ok());
+  fixture.graph.CommitBatch();
+  EXPECT_EQ(fixture.production->results().total_count(), 0);
+  fixture.production->RemoveListener(&listener);
+}
+
+TEST(QueueOrdering, AntiJoinCancelsTransientAssertAcrossPorts) {
+  BinaryFixture fixture;
+  Schema vs = BinaryFixture::VSchema();
+  fixture.Build(std::make_unique<AntiJoinNode>(vs, vs, vs),
+                PropagationStrategy::kBatched);
+
+  // Port 0 (left insert, no right support yet) asserts +v; port 1 (right
+  // insert) retracts it in the same wave. The node's flush consolidates the
+  // pair away, so the anti-join emits nothing at all.
+  fixture.graph.BeginBatch();
+  fixture.graph.AddVertex({"A", "B"});
+  fixture.graph.CommitBatch();
+
+  EXPECT_EQ(fixture.binary->emitted_entries(), 0);
+  EXPECT_EQ(fixture.production->results().total_count(), 0);
+
+  // A left-only vertex must still pass through.
+  fixture.graph.AddVertex({"A"});
+  EXPECT_EQ(fixture.production->results().total_count(), 1);
+}
+
+TEST(QueueOrdering, AntiJoinEagerEmitsTheTransientPair) {
+  BinaryFixture fixture;
+  Schema vs = BinaryFixture::VSchema();
+  fixture.Build(std::make_unique<AntiJoinNode>(vs, vs, vs),
+                PropagationStrategy::kEager);
+
+  fixture.graph.BeginBatch();
+  fixture.graph.AddVertex({"A", "B"});
+  fixture.graph.CommitBatch();
+
+  // Same final state, but the eager cascade pushed +v and −v through.
+  EXPECT_EQ(fixture.binary->emitted_entries(), 2);
+  EXPECT_EQ(fixture.production->results().total_count(), 0);
+}
+
+TEST(QueueOrdering, SemiJoinTogglesOnWithinOneWave) {
+  BinaryFixture fixture;
+  Schema vs = BinaryFixture::VSchema();
+  fixture.Build(std::make_unique<SemiJoinNode>(vs, vs, vs),
+                PropagationStrategy::kBatched);
+
+  fixture.graph.BeginBatch();
+  VertexId v = fixture.graph.AddVertex({"A", "B"});
+  fixture.graph.CommitBatch();
+
+  // Port 0 inserts the left row (no support yet, no emission); port 1's
+  // support toggle then asserts it exactly once.
+  EXPECT_EQ(fixture.binary->emitted_entries(), 1);
+  EXPECT_EQ(fixture.production->results().total_count(), 1);
+
+  fixture.graph.BeginBatch();
+  ASSERT_TRUE(fixture.graph.RemoveVertexLabel(v, "B").ok());
+  fixture.graph.CommitBatch();
+  EXPECT_EQ(fixture.production->results().total_count(), 0);
+}
+
+TEST(QueueOrdering, UnionCoalescesBothPortsIntoOneDelta) {
+  BinaryFixture fixture;
+  fixture.Build(std::make_unique<UnionNode>(BinaryFixture::VSchema()),
+                PropagationStrategy::kBatched);
+  RecordingListener listener;
+  fixture.production->AddListener(&listener);
+
+  fixture.graph.BeginBatch();
+  fixture.graph.AddVertex({"A"});
+  fixture.graph.AddVertex({"B"});
+  fixture.graph.CommitBatch();
+
+  // Two sources, one wave, one consolidated delta at the production.
+  EXPECT_EQ(listener.calls, 1);
+  EXPECT_EQ(listener.entries, 2);
+  EXPECT_EQ(fixture.production->results().total_count(), 2);
+  fixture.production->RemoveListener(&listener);
+}
+
+// A sink-less foreign pass-through wired *between* two owned nodes: the
+// owned downstream must still be levelled above the foreign hop, or its
+// flushed output lands in an already-drained level bucket and the view
+// runs one transaction behind.
+TEST(QueueOrdering, ForeignPassThroughBetweenOwnedNodesStaysCurrent) {
+  class PassThrough : public ReteNode {
+   public:
+    explicit PassThrough(Schema schema) : ReteNode(std::move(schema)) {}
+    void OnDelta(int port, const Delta& delta) override {
+      (void)port;
+      Emit(delta);
+    }
+    std::string DebugString() const override { return "PassThrough"; }
+  };
+
+  PropertyGraph graph;
+  Schema vs = BinaryFixture::VSchema();
+  ReteNetwork network;
+  auto* source = network.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"A"},
+      std::vector<PropertyExtract>{}));
+  network.RegisterSource(source);
+  auto* distinct = network.Add(std::make_unique<DistinctNode>(vs));
+  auto* production = network.Add(std::make_unique<ProductionNode>(vs));
+  distinct->AddOutput(production, 0);
+  network.SetProduction(production);
+
+  PassThrough probe(vs);  // not owned by the network, no emit sink
+  source->AddOutput(&probe, 0);
+  probe.AddOutput(distinct, 0);
+
+  network.Attach(&graph);
+  EXPECT_GT(network.node_level(distinct), network.node_level(&probe));
+
+  for (int i = 1; i <= 4; ++i) {
+    graph.AddVertex({"A"});
+    ASSERT_EQ(production->results().total_count(), i)
+        << "view ran behind after delta " << i;
+  }
+}
+
+// Chained *batched* networks: a node of network B subscribes to network
+// A's production. B buffers externally fed emissions through its own emit
+// sink; it must drain them immediately instead of waiting for its next
+// graph delta, or its results go stale by one transaction.
+TEST(QueueOrdering, ChainedBatchedNetworksStayCurrent) {
+  PropertyGraph graph;
+  Schema vs = BinaryFixture::VSchema();
+
+  ReteNetwork upstream;
+  auto* source = upstream.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"A"},
+      std::vector<PropertyExtract>{}));
+  upstream.RegisterSource(source);
+  auto* upstream_prod = upstream.Add(std::make_unique<ProductionNode>(vs));
+  source->AddOutput(upstream_prod, 0);
+  upstream.SetProduction(upstream_prod);
+
+  ReteNetwork downstream;
+  auto* distinct = downstream.Add(std::make_unique<DistinctNode>(vs));
+  auto* downstream_prod =
+      downstream.Add(std::make_unique<ProductionNode>(vs));
+  distinct->AddOutput(downstream_prod, 0);
+  downstream.SetProduction(downstream_prod);
+  upstream_prod->AddOutput(distinct, 0);
+
+  // Registered (attached) before the upstream network: its OnGraphDelta
+  // fires first and finds nothing — the chained delivery happens later,
+  // inside the upstream network's drain.
+  downstream.Attach(&graph);
+  upstream.Attach(&graph);
+
+  graph.BeginBatch();
+  VertexId v = graph.AddVertex({"A"});
+  graph.AddVertex({"A"});
+  graph.CommitBatch();
+  EXPECT_EQ(upstream_prod->results().total_count(), 2);
+  EXPECT_EQ(downstream_prod->results().total_count(), 2);
+
+  graph.BeginBatch();
+  ASSERT_TRUE(graph.RemoveVertex(v).ok());
+  graph.CommitBatch();
+  EXPECT_EQ(downstream_prod->results().total_count(), 1);
+}
+
+// "Views can be chained": a node the network does not own may subscribe to
+// the production. Batched propagation must still deliver to it — via the
+// wave scheduler when wired before Attach, and by direct (eager-style)
+// delivery when wired afterwards.
+TEST(QueueOrdering, ForeignSubscribersReceiveDeltasUnderBatched) {
+  class ForeignSink : public ReteNode {
+   public:
+    ForeignSink() : ReteNode(Schema{}) {}
+    void OnDelta(int port, const Delta& delta) override {
+      (void)port;
+      entries += static_cast<int64_t>(delta.size());
+    }
+    std::string DebugString() const override { return "ForeignSink"; }
+    int64_t entries = 0;
+  };
+
+  PropertyGraph graph;
+  ReteNetwork network;
+  Schema vs({{"v", Attribute::Kind::kVertex}});
+  auto* source = network.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"A"},
+      std::vector<PropertyExtract>{}));
+  network.RegisterSource(source);
+  auto* production = network.Add(std::make_unique<ProductionNode>(vs));
+  source->AddOutput(production, 0);
+  network.SetProduction(production);
+
+  ForeignSink wired_before;
+  production->AddOutput(&wired_before, 0);
+  network.Attach(&graph);
+
+  graph.BeginBatch();
+  graph.AddVertex({"A"});
+  graph.AddVertex({"A"});
+  graph.CommitBatch();
+  EXPECT_EQ(wired_before.entries, 2);
+
+  ForeignSink wired_after;
+  production->AddOutput(&wired_after, 0);
+  graph.AddVertex({"A"});
+  EXPECT_EQ(wired_before.entries, 3);
+  EXPECT_EQ(wired_after.entries, 1);
+}
+
+// A trail running through several edges added in the same graph delta is
+// enumerated once per such edge (each kAddEdge translates against the final
+// graph state); the path store must assert it exactly once. Regression test
+// for the double-count this caused under multi-change batches.
+class PathBatchTest : public ::testing::TestWithParam<PropagationStrategy> {};
+
+TEST_P(PathBatchTest, ChainedEdgesAddedInOneBatchAssertTrailsOnce) {
+  PropertyGraph graph;
+  VertexId a = graph.AddVertex({"A"});
+  VertexId b = graph.AddVertex({"B"});
+  VertexId c = graph.AddVertex({"B"});
+  QueryEngine engine(&graph, WithStrategy(GetParam()));
+  auto view = engine.Register("MATCH (x:A)-[:R*1..3]->(y) RETURN x, y");
+  ASSERT_TRUE(view.ok()) << view.status();
+
+  graph.BeginBatch();
+  ASSERT_TRUE(graph.AddEdge(a, b, "R").ok());
+  ASSERT_TRUE(graph.AddEdge(b, c, "R").ok());
+  graph.CommitBatch();
+
+  // Trails from the :A anchor: a→b and a→b→c — exactly two rows.
+  EXPECT_EQ((*view)->size(), 2);
+  auto expected = engine.EvaluateOnce("MATCH (x:A)-[:R*1..3]->(y) RETURN x, y");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ((*view)->Snapshot().size(), expected.value().size());
+
+  // And the batch removal retracts both trails.
+  graph.BeginBatch();
+  for (EdgeId e : graph.OutEdges(b)) {
+    ASSERT_TRUE(graph.RemoveEdge(e).ok());
+    break;
+  }
+  graph.CommitBatch();
+  EXPECT_EQ((*view)->size(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, PathBatchTest,
+                         ::testing::Values(PropagationStrategy::kEager,
+                                           PropagationStrategy::kBatched),
+                         [](const auto& info) {
+                           return std::string(
+                               PropagationStrategyName(info.param));
+                         });
+
+// ---- Attach/Detach lifecycle -----------------------------------------------
+
+struct SingleSourceFixture {
+  void Build(PropagationStrategy strategy) {
+    Schema vs({{"v", Attribute::Kind::kVertex}});
+    auto* source = network.Add(std::make_unique<VertexInputNode>(
+        vs, &graph, std::vector<std::string>{"A"},
+        std::vector<PropertyExtract>{}));
+    network.RegisterSource(source);
+    production = network.Add(std::make_unique<ProductionNode>(vs));
+    source->AddOutput(production, 0);
+    network.SetProduction(production);
+    network.set_propagation(strategy);
+  }
+
+  PropertyGraph graph;
+  ReteNetwork network;
+  ProductionNode* production = nullptr;
+};
+
+class AttachLifecycleTest
+    : public ::testing::TestWithParam<PropagationStrategy> {};
+
+TEST_P(AttachLifecycleTest, DoubleAttachIsANoOp) {
+  SingleSourceFixture fixture;
+  fixture.Build(GetParam());
+  fixture.network.Attach(&fixture.graph);
+  fixture.network.Attach(&fixture.graph);  // must not double-subscribe
+
+  fixture.graph.AddVertex({"A"});
+  EXPECT_EQ(fixture.network.deltas_processed(), 1);
+  EXPECT_EQ(fixture.production->results().total_count(), 1);
+}
+
+TEST_P(AttachLifecycleTest, ReattachAfterDetachReprimesFromCurrentGraph) {
+  SingleSourceFixture fixture;
+  fixture.Build(GetParam());
+  fixture.network.Attach(&fixture.graph);
+  fixture.graph.AddVertex({"A"});
+  ASSERT_EQ(fixture.production->results().total_count(), 1);
+
+  fixture.network.Detach();
+  EXPECT_FALSE(fixture.network.attached());
+  // Mutations while detached are invisible...
+  fixture.graph.AddVertex({"A"});
+  fixture.graph.AddVertex({"B"});
+  EXPECT_EQ(fixture.production->results().total_count(), 1);
+
+  // ...until re-attach re-primes node memories from the current content.
+  fixture.network.Attach(&fixture.graph);
+  EXPECT_TRUE(fixture.network.attached());
+  EXPECT_EQ(fixture.production->results().total_count(), 2);
+
+  // And incremental maintenance resumes.
+  fixture.graph.AddVertex({"A"});
+  EXPECT_EQ(fixture.production->results().total_count(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, AttachLifecycleTest,
+                         ::testing::Values(PropagationStrategy::kEager,
+                                           PropagationStrategy::kBatched),
+                         [](const auto& info) {
+                           return std::string(
+                               PropagationStrategyName(info.param));
+                         });
+
+}  // namespace
+}  // namespace pgivm

@@ -13,6 +13,29 @@
 namespace pgivm {
 namespace {
 
+/// Net-effect recorder. Unlike pgivm::Bag it tolerates negative counts:
+/// several tests feed nodes raw retraction streams and assert on the net
+/// multiplicity, which may legitimately dip below zero at a sink that never
+/// saw the original assertions.
+class SignedBag {
+ public:
+  void Apply(const Tuple& tuple, int64_t multiplicity) {
+    auto it = counts_.emplace(tuple, 0).first;
+    it->second += multiplicity;
+    total_ += multiplicity;
+    if (it->second == 0) counts_.erase(it);
+  }
+  int64_t Count(const Tuple& tuple) const {
+    auto it = counts_.find(tuple);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  int64_t total_count() const { return total_; }
+
+ private:
+  std::unordered_map<Tuple, int64_t, TupleHash> counts_;
+  int64_t total_ = 0;
+};
+
 /// Terminal node that accumulates everything it receives into a bag.
 class SinkNode : public ReteNode {
  public:
@@ -26,7 +49,7 @@ class SinkNode : public ReteNode {
   }
   std::string DebugString() const override { return "Sink"; }
 
-  Bag bag;
+  SignedBag bag;
   int entries_seen = 0;
 };
 
