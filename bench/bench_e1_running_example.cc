@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "engine/query_engine.h"
@@ -91,4 +93,4 @@ BENCHMARK(BM_E1_ThreadGrowth)->Iterations(300);
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

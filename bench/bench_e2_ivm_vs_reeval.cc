@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "baseline/baseline_evaluator.h"
 #include "engine/query_engine.h"
 #include "workload/railway.h"
@@ -143,4 +145,4 @@ BENCHMARK(BM_E2_BatchSweep)
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

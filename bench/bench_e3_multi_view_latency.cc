@@ -8,13 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "engine/query_engine.h"
 #include "workload/social_network.h"
 
 namespace pgivm {
 namespace {
 
-std::vector<std::string> ViewCatalog() {
+std::vector<std::string> StandingQueries() {
   return {
       "MATCH (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang "
       "RETURN p, c",
@@ -52,7 +54,7 @@ void BM_E3_UpdateWithViews(benchmark::State& state) {
 
   QueryEngine engine(&graph);
   std::vector<std::shared_ptr<View>> views;
-  std::vector<std::string> catalog = ViewCatalog();
+  std::vector<std::string> catalog = StandingQueries();
   for (int64_t i = 0; i < state.range(0); ++i) {
     views.push_back(
         engine.Register(catalog[static_cast<size_t>(i) % catalog.size()])
@@ -99,7 +101,7 @@ void BM_E3_BatchSweep(benchmark::State& state) {
   options.network.propagation = strategy;
   QueryEngine engine(&graph, options);
   std::vector<std::shared_ptr<View>> views;
-  std::vector<std::string> catalog = ViewCatalog();
+  std::vector<std::string> catalog = StandingQueries();
   for (size_t i = 0; i < 8; ++i) {
     views.push_back(engine.Register(catalog[i]).value());
   }
@@ -125,7 +127,71 @@ BENCHMARK(BM_E3_BatchSweep)
     ->ArgsProduct({{1, 16, 128, 1024}, {0, 1}})
     ->Iterations(20);
 
+// ---- operator-state sharing sweep: views × overlap × shared/unshared -------
+//
+// The catalog deployment scenario: range(0) standing views are registered,
+// cycling over the first range(1) queries of the pool (so overlap factor =
+// views / range(1): dashboards registering the same standing query are
+// common in monitoring fleets). range(2) toggles operator-state sharing.
+// Reported counters: live Rete nodes, multi-view shared nodes, node-memory
+// bytes (each node once), and the propagation volume of the timed update
+// stream — sharing propagates once per shared node instead of once per
+// view, so both memory and volume drop as overlap grows.
+
+void BM_E3_CatalogSharingSweep(benchmark::State& state) {
+  int64_t num_views = state.range(0);
+  size_t pool = static_cast<size_t>(state.range(1));
+  bool shared = state.range(2) == 1;
+
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 60;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  EngineOptions options;
+  options.catalog.share_operator_state = shared;
+  QueryEngine engine(&graph, options);
+  std::vector<std::shared_ptr<View>> views;
+  std::vector<std::string> catalog = StandingQueries();
+  for (int64_t i = 0; i < num_views; ++i) {
+    views.push_back(
+        engine.Register(catalog[static_cast<size_t>(i) % pool]).value());
+  }
+
+  auto total_emitted = [&]() {
+    if (shared) {
+      const ReteNetwork* network = engine.catalog().shared_network();
+      return network == nullptr ? int64_t{0} : network->TotalEmittedEntries();
+    }
+    int64_t total = 0;
+    for (const auto& view : views) {
+      total += view->network().TotalEmittedEntries();
+    }
+    return total;
+  };
+
+  int64_t emitted_before = total_emitted();
+  for (auto _ : state) {
+    graph.BeginBatch();
+    for (int i = 0; i < 16; ++i) generator.ApplyRandomUpdate(&graph);
+    graph.CommitBatch();
+  }
+  int64_t emitted = total_emitted() - emitted_before;
+
+  CatalogStats stats = engine.catalog().Stats();
+  state.counters["views"] = static_cast<double>(views.size());
+  state.counters["nodes"] = static_cast<double>(stats.total_nodes);
+  state.counters["shared_nodes"] = static_cast<double>(stats.shared_nodes);
+  state.counters["mem_bytes"] = static_cast<double>(stats.memory_bytes);
+  state.counters["emitted"] = static_cast<double>(emitted);
+  state.SetLabel(shared ? "shared" : "unshared");
+}
+BENCHMARK(BM_E3_CatalogSharingSweep)
+    ->ArgsProduct({{4, 8, 16}, {2, 4, 8}, {0, 1}})
+    ->Iterations(20);
+
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

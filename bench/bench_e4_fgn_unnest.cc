@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "engine/query_engine.h"
 
 namespace pgivm {
@@ -112,4 +114,4 @@ BENCHMARK(BM_E4_NaiveJoined)
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "engine/query_engine.h"
 
 namespace pgivm {
@@ -114,4 +116,4 @@ BENCHMARK(BM_E5_BoundedVsUnbounded)
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

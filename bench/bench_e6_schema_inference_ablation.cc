@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "engine/query_engine.h"
 #include "support/rng.h"
 
@@ -79,4 +81,4 @@ BENCHMARK(BM_E6_NaiveFullMaps)
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

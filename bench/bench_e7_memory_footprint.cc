@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "engine/query_engine.h"
 #include "workload/social_network.h"
 
@@ -92,4 +94,4 @@ BENCHMARK(BM_E7_PerNodeBreakdown)->Iterations(100);
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

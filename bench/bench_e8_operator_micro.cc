@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "graph/property_graph.h"
 #include "rete/aggregate_node.h"
 #include "rete/distinct_node.h"
@@ -239,4 +241,4 @@ BENCHMARK(BM_E8_NetworkChurnSweep)
 }  // namespace
 }  // namespace pgivm
 
-BENCHMARK_MAIN();
+PGIVM_BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+#ifndef PGIVM_BENCH_BENCH_MAIN_H_
+#define PGIVM_BENCH_BENCH_MAIN_H_
+
+// Shared benchmark entry point: every bench_* binary writes a machine-
+// readable twin of its console output to BENCH_<name>.json in the working
+// directory (google benchmark's JSON schema), so the perf trajectory can be
+// tracked across PRs and uploaded as a CI artifact. An explicit
+// --benchmark_out on the command line wins; all other flags pass through.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pgivm {
+namespace bench {
+
+/// BENCH_<basename>.json, with a leading "bench_" stripped from the
+/// executable name: ./build/bench_e3_multi_view_latency →
+/// BENCH_e3_multi_view_latency.json.
+inline std::string DefaultJsonPath(const char* argv0) {
+  std::string name(argv0 == nullptr ? "" : argv0);
+  size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::string prefix = "bench_";
+  if (name.compare(0, prefix.size(), prefix) == 0) {
+    name = name.substr(prefix.size());
+  }
+  if (name.empty()) name = "unnamed";
+  return "BENCH_" + name + ".json";
+}
+
+inline int Main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  std::string format_flag;
+  if (!has_out) {
+    out_flag = "--benchmark_out=" + DefaultJsonPath(argc > 0 ? argv[0] : "");
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace pgivm
+
+#define PGIVM_BENCHMARK_MAIN()                                    \
+  int main(int argc, char** argv) {                               \
+    return ::pgivm::bench::Main(argc, argv);                      \
+  }                                                               \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // PGIVM_BENCH_BENCH_MAIN_H_

@@ -1,0 +1,71 @@
+#ifndef PGIVM_CATALOG_NODE_REGISTRY_H_
+#define PGIVM_CATALOG_NODE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator.h"
+
+namespace pgivm {
+
+class ReteNode;
+
+/// Canonical structural fingerprint of an FRA sub-plan: operator kind +
+/// parameters + child fingerprints, with every variable reference rewritten
+/// to a schema *position* so the key is insensitive to query aliases
+/// (`MATCH (p:Post)` and `MATCH (x:Post)` fingerprint identically). Two
+/// sub-plans with equal keys compute positionally identical tuple streams,
+/// so one Rete node (and its memories) can serve both — the downstream
+/// consumers of each view bind their expressions positionally anyway.
+///
+/// Returns "" when the sub-plan contains a construct the canonicalizer does
+/// not cover (unbound variable, compile-time-only placeholder); such
+/// sub-plans are simply built privately, never shared.
+std::string CanonicalPlanKey(const LogicalOp& op);
+
+/// Fingerprint → instantiated Rete sub-network. Owned by a ViewCatalog; the
+/// network builder consults it before constructing a node so that views
+/// whose plans share a prefix reuse the same nodes. The registry stores,
+/// per entry, the sub-plan root and its full *support* (the root plus every
+/// transitive upstream node): a view reusing the root must take a reference
+/// on the whole sub-network, or tearing down the first owner would free
+/// nodes the reuser still depends on.
+class NodeRegistry {
+ public:
+  struct Entry {
+    ReteNode* node = nullptr;        // sub-plan root
+    std::vector<ReteNode*> support;  // root + transitive upstream nodes
+  };
+
+  /// Returns the entry for `key`, or nullptr. Counts a hit / miss — the
+  /// catalog's sharing statistics.
+  const Entry* Lookup(const std::string& key);
+
+  /// Registers a freshly built sub-plan root. `key` must not be present.
+  void Insert(const std::string& key, ReteNode* node,
+              std::vector<ReteNode*> support);
+
+  /// Drops every entry rooted at one of `nodes` (no-op for nodes that are
+  /// not entry roots). Called when refcount-zero nodes are torn down; a
+  /// surviving entry can never reference a removed node (any view that hit
+  /// the entry also held references on its whole support).
+  void RemoveNodes(const std::vector<ReteNode*>& nodes);
+
+  void Clear();
+
+  size_t size() const { return by_key_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, Entry> by_key_;
+  std::unordered_map<const ReteNode*, std::string> key_of_root_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CATALOG_NODE_REGISTRY_H_

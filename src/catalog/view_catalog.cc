@@ -1,0 +1,195 @@
+#include "catalog/view_catalog.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+std::string CatalogStats::ToString() const {
+  std::ostringstream os;
+  os << "views=" << views << " nodes=" << total_nodes
+     << " shared=" << shared_nodes << " (" << static_cast<int>(
+            SharingRatio() * 100.0 + 0.5)
+     << "%) registry hits=" << registry_hits << " misses=" << registry_misses
+     << " mem=" << memory_bytes << "B";
+  return os.str();
+}
+
+std::shared_ptr<ViewCatalog> ViewCatalog::Create(
+    PropertyGraph* graph, NetworkOptions network_options,
+    CatalogOptions options) {
+  return std::shared_ptr<ViewCatalog>(
+      new ViewCatalog(graph, network_options, options));
+}
+
+Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
+                                                   OpPtr gra, OpPtr fra,
+                                                   int64_t skip,
+                                                   int64_t limit) {
+  auto view = std::shared_ptr<View>(new View());
+  view->query_ = std::move(query);
+  view->gra_ = std::move(gra);
+  view->fra_ = std::move(fra);
+  for (const auto& [name, expr] : view->fra_->projections) {
+    view->columns_.push_back(name);
+    (void)expr;
+  }
+  view->skip_ = skip;
+  view->limit_ = limit;
+
+  if (options_.share_operator_state) {
+    if (network_ == nullptr) {
+      network_ = std::make_unique<ReteNetwork>();
+      network_->set_propagation(network_options_.propagation);
+    }
+    Result<BuiltView> built = BuildViewInto(network_.get(), view->fra_,
+                                            graph_, network_options_,
+                                            &registry_);
+    if (!built.ok()) return built.status();
+
+    Entry entry;
+    entry.view = view.get();
+    entry.network = network_.get();
+    entry.production = built->production;
+    entry.nodes = std::move(built->nodes);
+    for (ReteNode* node : entry.nodes) ++refcounts_[node];
+    entries_.push_back(std::move(entry));
+
+    view->catalog_ = shared_from_this();
+    view->network_ = network_.get();
+    view->production_ = entries_.back().production;
+
+    // Prime the new sub-network with the current graph content. A reused
+    // interior node cannot replay its memories into a fresh consumer yet
+    // (ROADMAP follow-up: incremental priming), so the whole network
+    // re-primes: every memory is rebuilt to the identical state and
+    // listener fan-out stays silent throughout.
+    network_->Detach();
+    network_->Attach(graph_);
+  } else {
+    PGIVM_ASSIGN_OR_RETURN(
+        std::unique_ptr<ReteNetwork> network,
+        BuildNetwork(view->fra_, graph_, network_options_));
+
+    Entry entry;
+    entry.view = view.get();
+    entry.network = network.get();
+    entry.production = network->production();
+    entries_.push_back(std::move(entry));
+
+    view->catalog_ = shared_from_this();
+    view->network_ = network.get();
+    view->production_ = network->production();
+    view->owned_network_ = std::move(network);
+    view->owned_network_->Attach(graph_);
+  }
+  return view;
+}
+
+void ViewCatalog::Deregister(View* view) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [view](const Entry& entry) {
+                           return entry.view == view;
+                         });
+  if (it == entries_.end()) return;
+  Entry entry = std::move(*it);
+  entries_.erase(it);
+  if (!options_.share_operator_state) {
+    // The view owns its private network; it detaches in its destructor.
+    return;
+  }
+
+  std::vector<ReteNode*> victims;
+  for (ReteNode* node : entry.nodes) {
+    auto rc = refcounts_.find(node);
+    if (rc == refcounts_.end()) continue;
+    if (--rc->second == 0) {
+      victims.push_back(node);
+      refcounts_.erase(rc);
+    }
+  }
+  registry_.RemoveNodes(victims);
+  // In shared mode every entry lives in network_, so survivors exist iff
+  // any entry remains.
+  if (!entries_.empty()) {
+    network_->RemoveNodes(victims);
+  } else {
+    // Last view gone: drop the whole shared network. Registry entries are
+    // all rooted at victims by now; Clear() keeps the lifetime hit/miss
+    // counters.
+    network_.reset();
+    registry_.Clear();
+    refcounts_.clear();
+  }
+}
+
+CatalogStats ViewCatalog::Stats() const {
+  CatalogStats stats;
+  stats.views = entries_.size();
+  stats.registry_hits = registry_.hits();
+  stats.registry_misses = registry_.misses();
+  if (options_.share_operator_state) {
+    if (network_ != nullptr) {
+      stats.total_nodes = network_->node_count();
+      stats.memory_bytes = network_->ApproxMemoryBytes();
+    }
+    for (const auto& [node, refcount] : refcounts_) {
+      (void)node;
+      if (refcount >= 2) ++stats.shared_nodes;
+    }
+  } else {
+    for (const Entry& entry : entries_) {
+      stats.total_nodes += entry.network->node_count();
+      stats.memory_bytes += entry.network->ApproxMemoryBytes();
+    }
+  }
+  return stats;
+}
+
+size_t ViewCatalog::ViewMemoryBytes(const View* view) const {
+  for (const Entry& entry : entries_) {
+    if (entry.view != view) continue;
+    if (!options_.share_operator_state) {
+      return entry.network->ApproxMemoryBytes();
+    }
+    size_t bytes = 0;
+    for (const ReteNode* node : entry.nodes) {
+      bytes += node->ApproxMemoryBytes();
+    }
+    return bytes;
+  }
+  return 0;
+}
+
+size_t ViewCatalog::MarginalMemoryBytes(const View* view) const {
+  for (const Entry& entry : entries_) {
+    if (entry.view != view) continue;
+    if (!options_.share_operator_state) {
+      return entry.network->ApproxMemoryBytes();
+    }
+    size_t bytes = 0;
+    for (ReteNode* node : entry.nodes) {
+      auto rc = refcounts_.find(node);
+      if (rc != refcounts_.end() && rc->second == 1) {
+        bytes += node->ApproxMemoryBytes();
+      }
+    }
+    return bytes;
+  }
+  return 0;
+}
+
+std::string ViewCatalog::DebugString() const {
+  std::ostringstream os;
+  os << Stats().ToString() << "\n";
+  for (const Entry& entry : entries_) {
+    os << "  view[" << entry.view->query() << "] nodes="
+       << entry.nodes.size() << " mem=" << ViewMemoryBytes(entry.view)
+       << "B marginal=" << MarginalMemoryBytes(entry.view) << "B\n";
+  }
+  return os.str();
+}
+
+}  // namespace pgivm

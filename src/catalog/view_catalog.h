@@ -1,0 +1,134 @@
+#ifndef PGIVM_CATALOG_VIEW_CATALOG_H_
+#define PGIVM_CATALOG_VIEW_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/node_registry.h"
+#include "engine/view.h"
+#include "graph/property_graph.h"
+#include "rete/network_builder.h"
+#include "support/status.h"
+
+namespace pgivm {
+
+struct CatalogOptions {
+  /// Consult the NodeRegistry on registration so views whose FRA plans share
+  /// a (alias-insensitive) structural prefix reuse the same Rete nodes and
+  /// memories inside one shared network. Off = the seed behaviour — one
+  /// private network per view — kept as the ablation baseline for the
+  /// sharing experiments (E3).
+  bool share_operator_state = true;
+};
+
+/// Aggregate health of a catalog: how many nodes the registered views
+/// resolve to, how many of those are multi-view shared, and the registry's
+/// lifetime reuse counters.
+struct CatalogStats {
+  size_t views = 0;
+  size_t total_nodes = 0;   // live Rete nodes across the catalog
+  size_t shared_nodes = 0;  // live nodes referenced by >= 2 views
+  int64_t registry_hits = 0;    // lifetime sub-plan reuses
+  int64_t registry_misses = 0;  // lifetime sub-plan constructions
+  size_t memory_bytes = 0;      // node memories, each node counted once
+
+  double SharingRatio() const {
+    return total_nodes == 0
+               ? 0.0
+               : static_cast<double>(shared_nodes) /
+                     static_cast<double>(total_nodes);
+  }
+
+  std::string ToString() const;
+};
+
+/// Owns every view registered against one PropertyGraph and the shared Rete
+/// network they are instantiated in.
+///
+/// With sharing enabled (the default), all views live inside a single
+/// multi-production network: registration consults the NodeRegistry so
+/// structurally identical sub-plans map to the same nodes, the batched wave
+/// scheduler propagates once per shared node (not once per view), and
+/// deregistration refcounts node usage — tearing down a view frees exactly
+/// the nodes no sibling references, never disturbing survivors' memories.
+///
+/// Registering into a live catalog re-primes the shared network (a reused
+/// interior node cannot yet replay its memory into a new consumer — see the
+/// ROADMAP follow-up); listener fan-out is suppressed during the re-prime,
+/// so observers of existing views see no spurious deltas.
+///
+/// Lifetime: the catalog is shared between its QueryEngine and every View
+/// handed out, so views stay valid after the engine is destroyed. The graph
+/// must outlive all of them (same contract as the seed's per-view
+/// networks).
+class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
+ public:
+  static std::shared_ptr<ViewCatalog> Create(PropertyGraph* graph,
+                                             NetworkOptions network_options,
+                                             CatalogOptions options);
+
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  /// Instantiates the compiled view (FRA plan `fra`, original text `query`)
+  /// and attaches it to the graph, primed with the current content. Called
+  /// by QueryEngine::Register, which owns the compilation pipeline.
+  Result<std::shared_ptr<View>> Install(std::string query, OpPtr gra,
+                                        OpPtr fra, int64_t skip,
+                                        int64_t limit);
+
+  CatalogStats Stats() const;
+
+  size_t view_count() const { return entries_.size(); }
+  bool sharing() const { return options_.share_operator_state; }
+
+  /// Bytes held by the node memories `view` references. Shared nodes are
+  /// counted in full for every referencing view; see Stats().memory_bytes
+  /// for the deduplicated total and MarginalMemoryBytes for the exclusive
+  /// slice.
+  size_t ViewMemoryBytes(const View* view) const;
+
+  /// Bytes held by nodes only `view` references — what deregistering the
+  /// view would actually free.
+  size_t MarginalMemoryBytes(const View* view) const;
+
+  /// The shared multi-view network (nullptr when sharing is disabled or no
+  /// view is registered).
+  const ReteNetwork* shared_network() const { return network_.get(); }
+
+  /// Stats plus one line per registered view.
+  std::string DebugString() const;
+
+ private:
+  friend class View;  // ~View deregisters itself
+
+  struct Entry {
+    View* view = nullptr;
+    ReteNetwork* network = nullptr;  // shared network_ or the view's own
+    ProductionNode* production = nullptr;
+    std::vector<ReteNode*> nodes;  // refcounted footprint (shared mode)
+  };
+
+  ViewCatalog(PropertyGraph* graph, NetworkOptions network_options,
+              CatalogOptions options)
+      : graph_(graph),
+        network_options_(network_options),
+        options_(options) {}
+
+  void Deregister(View* view);
+
+  PropertyGraph* graph_;
+  NetworkOptions network_options_;
+  CatalogOptions options_;
+  std::unique_ptr<ReteNetwork> network_;  // shared mode only
+  NodeRegistry registry_;
+  std::vector<Entry> entries_;
+  std::unordered_map<ReteNode*, int> refcounts_;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_CATALOG_VIEW_CATALOG_H_

@@ -36,22 +36,9 @@ Result<std::shared_ptr<View>> QueryEngine::Register(
   PGIVM_ASSIGN_OR_RETURN(Query query, ParseAndBind(cypher, parameters));
   PGIVM_ASSIGN_OR_RETURN(OpPtr gra, CompileToGra(query));
   PGIVM_ASSIGN_OR_RETURN(OpPtr fra, LowerToFra(gra, options_.plan));
-  PGIVM_ASSIGN_OR_RETURN(std::unique_ptr<ReteNetwork> network,
-                         BuildNetwork(fra, graph_, options_.network));
-
-  auto view = std::shared_ptr<View>(new View());
-  view->query_ = std::string(cypher);
-  view->gra_ = std::move(gra);
-  view->fra_ = std::move(fra);
-  view->network_ = std::move(network);
-  for (const auto& [name, expr] : view->fra_->projections) {
-    view->columns_.push_back(name);
-    (void)expr;
-  }
-  view->skip_ = query.return_clause.skip;
-  view->limit_ = query.return_clause.limit;
-  view->network_->Attach(graph_);
-  return view;
+  return catalog_->Install(std::string(cypher), std::move(gra),
+                           std::move(fra), query.return_clause.skip,
+                           query.return_clause.limit);
 }
 
 Result<std::vector<Tuple>> QueryEngine::EvaluateOnce(

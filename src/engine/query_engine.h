@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "algebra/passes/pass_manager.h"
+#include "catalog/view_catalog.h"
 #include "engine/view.h"
 #include "graph/property_graph.h"
 #include "rete/network_builder.h"
@@ -19,6 +20,7 @@ namespace pgivm {
 struct EngineOptions {
   PlanOptions plan;
   NetworkOptions network;
+  CatalogOptions catalog;
 };
 
 /// Front door of the library: compiles openCypher queries and keeps their
@@ -32,12 +34,19 @@ struct EngineOptions {
 ///       "WHERE p.lang = c.lang RETURN p, t");
 ///   ...mutate graph; (*view)->Snapshot() is always current...
 ///
-/// The engine itself is stateless apart from its configuration; each View
-/// owns its network and subscribes to the graph independently.
+/// The engine compiles queries and delegates view lifecycle to its
+/// ViewCatalog: with operator-state sharing enabled (the default) all
+/// registered views live inside one shared Rete network whose structurally
+/// identical sub-plans are instantiated once; with sharing disabled each
+/// View owns a private network (the seed behaviour). Views keep the catalog
+/// alive, so they outlive the engine safely.
 class QueryEngine {
  public:
   explicit QueryEngine(PropertyGraph* graph, EngineOptions options = {})
-      : graph_(graph), options_(std::move(options)) {}
+      : graph_(graph),
+        options_(std::move(options)),
+        catalog_(ViewCatalog::Create(graph, options_.network,
+                                     options_.catalog)) {}
 
   /// Compiles `cypher` through the paper's pipeline (parse → GRA → NRA →
   /// FRA → Rete) and attaches the resulting view to the graph, priming it
@@ -65,9 +74,15 @@ class QueryEngine {
   PropertyGraph* graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The view catalog: registered-view bookkeeping, node-sharing registry
+  /// statistics and per-view memory attribution.
+  ViewCatalog& catalog() { return *catalog_; }
+  const ViewCatalog& catalog() const { return *catalog_; }
+
  private:
   PropertyGraph* graph_;
   EngineOptions options_;
+  std::shared_ptr<ViewCatalog> catalog_;
 };
 
 }  // namespace pgivm

@@ -2,22 +2,36 @@
 
 #include <algorithm>
 
+#include "catalog/view_catalog.h"
+
 namespace pgivm {
 
 View::~View() {
-  if (network_) network_->Detach();
+  if (catalog_) catalog_->Deregister(this);
+  // An owned (unshared-mode) network detaches in its own destructor.
 }
 
 std::vector<Tuple> View::Snapshot() const {
-  std::vector<Tuple> rows = network_->production()->SortedSnapshot();
-  if (skip_ > 0) {
-    size_t drop = std::min<size_t>(static_cast<size_t>(skip_), rows.size());
-    rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(drop));
+  uint64_t version = production_->version();
+  if (!snapshot_valid_ || snapshot_version_ != version) {
+    std::vector<Tuple> rows = production_->SortedSnapshot();
+    if (skip_ > 0) {
+      size_t drop = std::min<size_t>(static_cast<size_t>(skip_), rows.size());
+      rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(drop));
+    }
+    if (limit_ >= 0 && rows.size() > static_cast<size_t>(limit_)) {
+      rows.resize(static_cast<size_t>(limit_));
+    }
+    snapshot_cache_ = std::move(rows);
+    snapshot_version_ = version;
+    snapshot_valid_ = true;
   }
-  if (limit_ >= 0 && rows.size() > static_cast<size_t>(limit_)) {
-    rows.resize(static_cast<size_t>(limit_));
-  }
-  return rows;
+  return snapshot_cache_;
+}
+
+size_t View::ApproxMemoryBytes() const {
+  if (catalog_) return catalog_->ViewMemoryBytes(this);
+  return network_ != nullptr ? network_->ApproxMemoryBytes() : 0;
 }
 
 }  // namespace pgivm

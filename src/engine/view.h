@@ -1,6 +1,7 @@
 #ifndef PGIVM_ENGINE_VIEW_H_
 #define PGIVM_ENGINE_VIEW_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,16 +11,25 @@
 
 namespace pgivm {
 
+class ViewCatalog;
+
 /// A live, incrementally maintained query result.
 ///
 /// Obtained from QueryEngine::Register. The view stays consistent with its
 /// graph after every committed change; reading it never triggers
-/// re-evaluation. Destroying the view detaches it from the graph.
+/// re-evaluation. A view is a handle into its engine's ViewCatalog: with
+/// operator-state sharing (the default) its Rete nodes live inside the
+/// catalog's shared network, possibly serving sibling views too; with
+/// sharing disabled the view owns a private network (the seed behaviour).
+/// Destroying the view deregisters it — shared nodes survive as long as a
+/// sibling still references them.
 ///
 /// Ordering note (the paper's ORD restriction): the maintained result is a
 /// bag — no order is maintained. Snapshot() sorts rows only for
 /// presentation/determinism and applies the query's SKIP/LIMIT at that
-/// moment.
+/// moment; the sorted rows are cached and reused until the production
+/// signals a change (its version counter moves), so polling an unchanged
+/// view is O(copy), not O(n log n).
 class View {
  public:
   ~View();
@@ -34,17 +44,17 @@ class View {
   std::vector<Tuple> Snapshot() const;
 
   /// The maintained bag itself (tuple -> multiplicity), unsorted.
-  const Bag& results() const { return network_->production()->results(); }
+  const Bag& results() const { return production_->results(); }
 
   /// Total number of result rows (with duplicates).
   int64_t size() const { return results().total_count(); }
 
   /// Change notifications; listeners receive normalized deltas.
   void AddListener(ViewChangeListener* listener) {
-    network_->production()->AddListener(listener);
+    production_->AddListener(listener);
   }
   void RemoveListener(ViewChangeListener* listener) {
-    network_->production()->RemoveListener(listener);
+    production_->RemoveListener(listener);
   }
 
   const std::string& query() const { return query_; }
@@ -58,25 +68,44 @@ class View {
   /// EngineOptions::network at registration time).
   PropagationStrategy propagation() const { return network_->propagation(); }
 
-  /// Memory held by the Rete node memories of this view.
-  size_t ApproxMemoryBytes() const { return network_->ApproxMemoryBytes(); }
+  /// Memory held by the Rete node memories this view references. Under
+  /// sharing, nodes serving sibling views too are counted in full; the
+  /// catalog's Stats().memory_bytes deduplicates and
+  /// MarginalMemoryBytes() isolates this view's exclusive slice.
+  size_t ApproxMemoryBytes() const;
 
-  /// Per-node diagnostics of the underlying network.
+  /// Per-node diagnostics of the underlying network (under sharing: the
+  /// whole catalog network this view lives in).
   std::string NetworkDebugString() const { return network_->DebugString(); }
 
   const ReteNetwork& network() const { return *network_; }
 
  private:
   friend class QueryEngine;
+  friend class ViewCatalog;
   View() = default;
 
   std::string query_;
   OpPtr gra_;
   OpPtr fra_;
-  std::unique_ptr<ReteNetwork> network_;
+  /// Keeps the catalog — and with it the shared network — alive even if
+  /// the engine is destroyed first. ~View deregisters through it.
+  std::shared_ptr<ViewCatalog> catalog_;
+  /// Sharing disabled: the view's private network (seed behaviour).
+  std::unique_ptr<ReteNetwork> owned_network_;
+  /// The network the view's nodes live in (owned_network_.get() or the
+  /// catalog's shared network).
+  ReteNetwork* network_ = nullptr;
+  /// This view's root; never shared between views.
+  ProductionNode* production_ = nullptr;
   std::vector<std::string> columns_;
   int64_t skip_ = 0;
   int64_t limit_ = -1;
+
+  /// Snapshot() cache, valid while the production's version is unchanged.
+  mutable std::vector<Tuple> snapshot_cache_;
+  mutable uint64_t snapshot_version_ = 0;
+  mutable bool snapshot_valid_ = false;
 };
 
 }  // namespace pgivm

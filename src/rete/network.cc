@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <unordered_set>
 
 namespace pgivm {
 
@@ -17,6 +18,15 @@ const char* PropagationStrategyName(PropagationStrategy strategy) {
 }
 
 ReteNetwork::~ReteNetwork() { Detach(); }
+
+void ReteNetwork::SetProduction(ProductionNode* production) {
+  production_ = production;
+  if (production != nullptr &&
+      std::find(productions_.begin(), productions_.end(), production) ==
+          productions_.end()) {
+    productions_.push_back(production);
+  }
+}
 
 void ReteNetwork::set_propagation(PropagationStrategy strategy) {
   assert(attached_graph_ == nullptr &&
@@ -62,11 +72,22 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   }
 
   attached_graph_ = graph;
+  // Priming replays the whole graph content; it rebuilds every production
+  // to its correct rows but is not an observable *change*, so listener
+  // fan-out is silenced for the duration (results and chained emissions
+  // are unaffected). This matters for catalog networks, where registering
+  // one more view re-primes the views already being observed.
+  for (ProductionNode* production : productions_) {
+    production->set_notify_listeners(false);
+  }
   buffering_ = true;
   for (const auto& node : nodes_) node->EmitInitial();
   for (GraphSourceNode* source : sources_) source->EmitInitialFromGraph();
   buffering_ = false;
   if (batched) DrainWaves();
+  for (ProductionNode* production : productions_) {
+    production->set_notify_listeners(true);
+  }
   graph->AddListener(this);
 }
 
@@ -74,6 +95,49 @@ void ReteNetwork::Detach() {
   if (attached_graph_ == nullptr) return;
   attached_graph_->RemoveListener(this);
   attached_graph_ = nullptr;
+}
+
+void ReteNetwork::RemoveNodes(const std::vector<ReteNode*>& victims) {
+  if (victims.empty()) return;
+  assert(!draining_ && "cannot remove nodes mid-wave");
+  std::unordered_set<const ReteNode*> gone(victims.begin(), victims.end());
+
+  // Surviving upstream nodes must stop fanning out into freed memory.
+  for (const auto& node : nodes_) {
+    if (gone.count(node.get()) == 0) node->RemoveOutputsTo(gone);
+  }
+
+  auto is_gone = [&gone](const auto* ptr) { return gone.count(ptr) > 0; };
+  sources_.erase(
+      std::remove_if(sources_.begin(), sources_.end(),
+                     [&](GraphSourceNode* source) {
+                       // Sources are also ReteNodes; match via dynamic
+                       // identity by scanning the victim set of node
+                       // pointers (every registered source was Add()ed).
+                       return gone.count(dynamic_cast<ReteNode*>(source)) > 0;
+                     }),
+      sources_.end());
+  productions_.erase(std::remove_if(productions_.begin(), productions_.end(),
+                                    [&](ProductionNode* p) {
+                                      return is_gone(p);
+                                    }),
+                     productions_.end());
+  if (production_ != nullptr && is_gone(production_)) {
+    production_ = productions_.empty() ? nullptr : productions_.back();
+  }
+  for (const ReteNode* victim : gone) states_.erase(victim);
+  nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                              [&](const std::unique_ptr<ReteNode>& node) {
+                                return is_gone(node.get());
+                              }),
+               nodes_.end());
+
+  // Levels / scheduler state reference the old shape; recompute while the
+  // network keeps maintaining (survivor memories are untouched).
+  if (attached_graph_ != nullptr &&
+      propagation_ == PropagationStrategy::kBatched) {
+    PrepareScheduler();
+  }
 }
 
 void ReteNetwork::OnGraphDelta(const GraphDelta& delta) {

@@ -65,9 +65,17 @@ class ReteNetwork : public GraphListener, private EmitSink {
   void RegisterSource(GraphSourceNode* source) {
     sources_.push_back(source);
   }
-  void SetProduction(ProductionNode* production) { production_ = production; }
+
+  /// Declares `production` as a view root of this network and makes it the
+  /// primary production. A multi-view (catalog) network calls this once per
+  /// registered view; all declared productions get their listener fan-out
+  /// suppressed while an Attach primes the node memories.
+  void SetProduction(ProductionNode* production);
 
   ProductionNode* production() const { return production_; }
+  const std::vector<ProductionNode*>& productions() const {
+    return productions_;
+  }
 
   /// Selects the propagation strategy. Must be called before Attach().
   void set_propagation(PropagationStrategy strategy);
@@ -81,6 +89,15 @@ class ReteNetwork : public GraphListener, private EmitSink {
   void Detach();
 
   bool attached() const { return attached_graph_ != nullptr; }
+
+  /// Destroys `victims` — nodes no remaining view references (the caller,
+  /// normally the ViewCatalog, owns that refcount). Victims are unsubscribed
+  /// from every surviving node's output list, dropped from the source /
+  /// production / scheduler bookkeeping, and freed. Surviving nodes keep
+  /// their memories untouched, so detaching one view never disturbs a
+  /// sharing sibling; if the network is attached under batched propagation
+  /// the topological levels are recomputed.
+  void RemoveNodes(const std::vector<ReteNode*>& victims);
 
   // GraphListener:
   void OnGraphDelta(const GraphDelta& delta) override;
@@ -149,6 +166,8 @@ class ReteNetwork : public GraphListener, private EmitSink {
   std::vector<std::unique_ptr<ReteNode>> nodes_;
   std::vector<GraphSourceNode*> sources_;
   ProductionNode* production_ = nullptr;
+  /// Every view root, in registration order (catalog networks have many).
+  std::vector<ProductionNode*> productions_;
   PropertyGraph* attached_graph_ = nullptr;
   /// The graph this network was first primed over; re-attachment is only
   /// valid to the same graph (source nodes capture it at construction).

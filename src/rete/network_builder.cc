@@ -1,5 +1,8 @@
 #include "rete/network_builder.h"
 
+#include <algorithm>
+
+#include "catalog/node_registry.h"
 #include "rete/aggregate_node.h"
 #include "rete/antijoin_node.h"
 #include "rete/distinct_node.h"
@@ -16,38 +19,92 @@ namespace pgivm {
 
 namespace {
 
+/// A built sub-plan: its root node plus the support set — every node the
+/// sub-plan transitively references (shared or freshly constructed). The
+/// support travels upward so the registering view can refcount its whole
+/// footprint.
+struct Built {
+  ReteNode* node = nullptr;
+  std::vector<ReteNode*> support;
+};
+
+void MergeSupport(std::vector<ReteNode*>& dst,
+                  const std::vector<ReteNode*>& src) {
+  for (ReteNode* node : src) {
+    if (std::find(dst.begin(), dst.end(), node) == dst.end()) {
+      dst.push_back(node);
+    }
+  }
+}
+
+/// Builds one view's sub-network. Expressions are bound against the plan's
+/// child schemas (not the child *node's* schema): a registry hit may return
+/// a node built for another view whose schema carries that view's aliases,
+/// but the tuple layout is positionally identical — and bound expressions
+/// resolve names to column positions once, at bind time.
 class Builder {
  public:
   Builder(ReteNetwork* network, const PropertyGraph* graph,
-          const NetworkOptions& options)
-      : network_(network), graph_(graph), options_(options) {}
+          const NetworkOptions& options, NodeRegistry* registry)
+      : network_(network),
+        graph_(graph),
+        options_(options),
+        registry_(registry) {}
 
-  Result<ReteNode*> Build(const OpPtr& op) {
+  /// Every node this builder added to the network, for rollback on error.
+  const std::vector<ReteNode*>& created() const { return created_; }
+
+  Result<Built> Build(const OpPtr& op) {
+    std::string key;
+    if (registry_ != nullptr) {
+      key = CanonicalPlanKey(*op);
+      if (!key.empty()) {
+        if (const NodeRegistry::Entry* hit = registry_->Lookup(key)) {
+          return Built{hit->node, hit->support};
+        }
+      }
+    }
+    PGIVM_ASSIGN_OR_RETURN(Built built, BuildFresh(op));
+    if (registry_ != nullptr && !key.empty()) {
+      registry_->Insert(key, built.node, built.support);
+    }
+    return built;
+  }
+
+ private:
+  template <typename NodeT>
+  NodeT* Create(std::unique_ptr<NodeT> node) {
+    NodeT* raw = network_->Add(std::move(node));
+    created_.push_back(raw);
+    return raw;
+  }
+
+  Result<Built> BuildFresh(const OpPtr& op) {
     switch (op->kind) {
       case OpKind::kUnit: {
-        auto* node = network_->Add(std::make_unique<UnitInputNode>());
+        auto* node = Create(std::make_unique<UnitInputNode>());
         network_->RegisterSource(node);
-        return node;
+        return Built{node, {node}};
       }
 
       case OpKind::kGetVertices: {
-        auto* node = network_->Add(std::make_unique<VertexInputNode>(
+        auto* node = Create(std::make_unique<VertexInputNode>(
             op->schema, graph_, op->labels, op->extracts));
         network_->RegisterSource(node);
-        return node;
+        return Built{node, {node}};
       }
 
       case OpKind::kGetEdges: {
-        auto* node = network_->Add(std::make_unique<EdgeInputNode>(
+        auto* node = Create(std::make_unique<EdgeInputNode>(
             op->schema, graph_, op->edge_types,
             op->direction == EdgeDirection::kBoth, op->src_var, op->edge_var,
             op->dst_var, op->extracts));
         network_->RegisterSource(node);
-        return node;
+        return Built{node, {node}};
       }
 
       case OpKind::kPathJoin: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built input, Build(op->children[0]));
         Schema path_schema;
         path_schema.Add({op->src_var, Attribute::Kind::kVertex});
         path_schema.Add({op->dst_var, Attribute::Kind::kVertex});
@@ -55,178 +112,199 @@ class Builder {
         if (emit_path) {
           path_schema.Add({op->path_var, Attribute::Kind::kPath});
         }
-        auto* paths = network_->Add(std::make_unique<PathInputNode>(
+        auto* paths = Create(std::make_unique<PathInputNode>(
             path_schema, graph_, op->edge_types,
             op->direction == EdgeDirection::kIn, op->min_hops, op->max_hops,
             emit_path));
         network_->RegisterSource(paths);
-        auto* join = network_->Add(std::make_unique<JoinNode>(
-            op->schema, input->schema(), paths->schema()));
-        input->AddOutput(join, 0);
+        auto* join = Create(std::make_unique<JoinNode>(
+            op->schema, op->children[0]->schema, path_schema));
+        input.node->AddOutput(join, 0);
         paths->AddOutput(join, 1);
-        return join;
+        Built built{join, std::move(input.support)};
+        MergeSupport(built.support, {paths, join});
+        return built;
       }
 
       case OpKind::kSelection: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built input, Build(op->children[0]));
         PGIVM_ASSIGN_OR_RETURN(
             BoundExpression predicate,
-            BoundExpression::Bind(op->predicate, input->schema()));
-        auto* node = network_->Add(std::make_unique<FilterNode>(
+            BoundExpression::Bind(op->predicate, op->children[0]->schema));
+        auto* node = Create(std::make_unique<FilterNode>(
             op->schema, std::move(predicate)));
-        input->AddOutput(node, 0);
-        return node;
+        input.node->AddOutput(node, 0);
+        Built built{node, std::move(input.support)};
+        MergeSupport(built.support, {node});
+        return built;
       }
 
       case OpKind::kProjection:
       case OpKind::kProduce: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built input, Build(op->children[0]));
         std::vector<BoundExpression> columns;
         for (const auto& [name, expr] : op->projections) {
           PGIVM_ASSIGN_OR_RETURN(
               BoundExpression bound,
-              BoundExpression::Bind(expr, input->schema()));
+              BoundExpression::Bind(expr, op->children[0]->schema));
           columns.push_back(std::move(bound));
         }
-        auto* node = network_->Add(std::make_unique<ProjectNode>(
+        auto* node = Create(std::make_unique<ProjectNode>(
             op->schema, std::move(columns)));
-        input->AddOutput(node, 0);
-        return node;
+        input.node->AddOutput(node, 0);
+        Built built{node, std::move(input.support)};
+        MergeSupport(built.support, {node});
+        return built;
       }
 
-      case OpKind::kJoin: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
-        auto* node = network_->Add(std::make_unique<JoinNode>(
-            op->schema, left->schema(), right->schema()));
-        left->AddOutput(node, 0);
-        right->AddOutput(node, 1);
-        return node;
-      }
-
-      case OpKind::kAntiJoin: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
-        auto* node = network_->Add(std::make_unique<AntiJoinNode>(
-            op->schema, left->schema(), right->schema()));
-        left->AddOutput(node, 0);
-        right->AddOutput(node, 1);
-        return node;
-      }
-
+      case OpKind::kJoin:
+      case OpKind::kAntiJoin:
       case OpKind::kSemiJoin: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
-        auto* node = network_->Add(std::make_unique<SemiJoinNode>(
-            op->schema, left->schema(), right->schema()));
-        left->AddOutput(node, 0);
-        right->AddOutput(node, 1);
-        return node;
+        PGIVM_ASSIGN_OR_RETURN(Built left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built right, Build(op->children[1]));
+        const Schema& lschema = op->children[0]->schema;
+        const Schema& rschema = op->children[1]->schema;
+        ReteNode* node = nullptr;
+        if (op->kind == OpKind::kJoin) {
+          node = Create(
+              std::make_unique<JoinNode>(op->schema, lschema, rschema));
+        } else if (op->kind == OpKind::kAntiJoin) {
+          node = Create(
+              std::make_unique<AntiJoinNode>(op->schema, lschema, rschema));
+        } else {
+          node = Create(
+              std::make_unique<SemiJoinNode>(op->schema, lschema, rschema));
+        }
+        left.node->AddOutput(node, 0);
+        right.node->AddOutput(node, 1);
+        Built built{node, std::move(left.support)};
+        MergeSupport(built.support, right.support);
+        MergeSupport(built.support, {node});
+        return built;
       }
 
       case OpKind::kLeftOuterJoin: {
         // L ⟕ R  =  (L ⋈ R)  ∪  π_null-pad(L ▷ R).
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
-        auto* join = network_->Add(std::make_unique<JoinNode>(
-            op->schema, left->schema(), right->schema()));
-        left->AddOutput(join, 0);
-        right->AddOutput(join, 1);
-        auto* anti = network_->Add(std::make_unique<AntiJoinNode>(
-            left->schema(), left->schema(), right->schema()));
-        left->AddOutput(anti, 0);
-        right->AddOutput(anti, 1);
+        PGIVM_ASSIGN_OR_RETURN(Built left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built right, Build(op->children[1]));
+        const Schema& lschema = op->children[0]->schema;
+        const Schema& rschema = op->children[1]->schema;
+        auto* join = Create(std::make_unique<JoinNode>(
+            op->schema, lschema, rschema));
+        left.node->AddOutput(join, 0);
+        right.node->AddOutput(join, 1);
+        auto* anti = Create(std::make_unique<AntiJoinNode>(
+            lschema, lschema, rschema));
+        left.node->AddOutput(anti, 0);
+        right.node->AddOutput(anti, 1);
         std::vector<BoundExpression> pad;
         for (const Attribute& attr : op->schema.attributes()) {
-          ExprPtr expr = left->schema().Contains(attr.name)
+          ExprPtr expr = lschema.Contains(attr.name)
                              ? MakeVariable(attr.name)
                              : MakeLiteral(Value::Null());
           PGIVM_ASSIGN_OR_RETURN(BoundExpression bound,
-                                 BoundExpression::Bind(expr, left->schema()));
+                                 BoundExpression::Bind(expr, lschema));
           pad.push_back(std::move(bound));
         }
-        auto* padder = network_->Add(std::make_unique<ProjectNode>(
+        auto* padder = Create(std::make_unique<ProjectNode>(
             op->schema, std::move(pad)));
         anti->AddOutput(padder, 0);
-        auto* merge = network_->Add(std::make_unique<UnionNode>(op->schema));
+        auto* merge = Create(std::make_unique<UnionNode>(op->schema));
         join->AddOutput(merge, 0);
         padder->AddOutput(merge, 1);
-        return merge;
+        Built built{merge, std::move(left.support)};
+        MergeSupport(built.support, right.support);
+        MergeSupport(built.support, {join, anti, padder, merge});
+        return built;
       }
 
       case OpKind::kUnion: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* left, Build(op->children[0]));
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* right, Build(op->children[1]));
+        PGIVM_ASSIGN_OR_RETURN(Built left, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built right, Build(op->children[1]));
+        const Schema& lschema = op->children[0]->schema;
+        const Schema& rschema = op->children[1]->schema;
         // Align the right input's column order with the left's.
-        ReteNode* aligned = right;
-        if (!(right->schema() == left->schema())) {
+        ReteNode* aligned = right.node;
+        std::vector<ReteNode*> extra;
+        if (!(rschema == lschema)) {
           std::vector<BoundExpression> reorder;
-          for (const Attribute& attr : left->schema().attributes()) {
+          for (const Attribute& attr : lschema.attributes()) {
             PGIVM_ASSIGN_OR_RETURN(
                 BoundExpression bound,
-                BoundExpression::Bind(MakeVariable(attr.name),
-                                      right->schema()));
+                BoundExpression::Bind(MakeVariable(attr.name), rschema));
             reorder.push_back(std::move(bound));
           }
-          aligned = network_->Add(std::make_unique<ProjectNode>(
-              left->schema(), std::move(reorder)));
-          right->AddOutput(aligned, 0);
+          auto* project = Create(std::make_unique<ProjectNode>(
+              lschema, std::move(reorder)));
+          right.node->AddOutput(project, 0);
+          aligned = project;
+          extra.push_back(project);
         }
-        auto* node = network_->Add(std::make_unique<UnionNode>(op->schema));
-        left->AddOutput(node, 0);
+        auto* node = Create(std::make_unique<UnionNode>(op->schema));
+        left.node->AddOutput(node, 0);
         aligned->AddOutput(node, 1);
-        return node;
+        extra.push_back(node);
+        Built built{node, std::move(left.support)};
+        MergeSupport(built.support, right.support);
+        MergeSupport(built.support, extra);
+        return built;
       }
 
       case OpKind::kDistinct: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
-        auto* node = network_->Add(std::make_unique<DistinctNode>(
-            op->schema));
-        input->AddOutput(node, 0);
-        return node;
+        PGIVM_ASSIGN_OR_RETURN(Built input, Build(op->children[0]));
+        auto* node = Create(std::make_unique<DistinctNode>(op->schema));
+        input.node->AddOutput(node, 0);
+        Built built{node, std::move(input.support)};
+        MergeSupport(built.support, {node});
+        return built;
       }
 
       case OpKind::kAggregate: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built input, Build(op->children[0]));
+        const Schema& child_schema = op->children[0]->schema;
         std::vector<BoundExpression> keys;
         for (const auto& [name, expr] : op->group_by) {
-          PGIVM_ASSIGN_OR_RETURN(
-              BoundExpression bound,
-              BoundExpression::Bind(expr, input->schema()));
+          PGIVM_ASSIGN_OR_RETURN(BoundExpression bound,
+                                 BoundExpression::Bind(expr, child_schema));
           keys.push_back(std::move(bound));
         }
         std::vector<AggregateSpec> specs;
         for (const auto& [name, expr] : op->aggregates) {
           PGIVM_ASSIGN_OR_RETURN(
               AggregateSpec spec,
-              AggregateSpec::Make(expr, input->schema(), nullptr));
+              AggregateSpec::Make(expr, child_schema, nullptr));
           specs.push_back(std::move(spec));
         }
-        auto* node = network_->Add(std::make_unique<AggregateNode>(
+        auto* node = Create(std::make_unique<AggregateNode>(
             op->schema, std::move(keys), std::move(specs)));
-        input->AddOutput(node, 0);
-        return node;
+        input.node->AddOutput(node, 0);
+        Built built{node, std::move(input.support)};
+        MergeSupport(built.support, {node});
+        return built;
       }
 
       case OpKind::kUnnest: {
-        PGIVM_ASSIGN_OR_RETURN(ReteNode* input, Build(op->children[0]));
+        PGIVM_ASSIGN_OR_RETURN(Built input, Build(op->children[0]));
+        const Schema& child_schema = op->children[0]->schema;
         PGIVM_ASSIGN_OR_RETURN(
             BoundExpression collection,
-            BoundExpression::Bind(op->unnest_expr, input->schema()));
+            BoundExpression::Bind(op->unnest_expr, child_schema));
         std::vector<int> kept;
-        for (size_t i = 0; i < input->schema().size(); ++i) {
-          const std::string& name = input->schema().at(i).name;
+        for (size_t i = 0; i < child_schema.size(); ++i) {
+          const std::string& name = child_schema.at(i).name;
           bool dropped = false;
           for (const std::string& d : op->unnest_drop_columns) {
             if (d == name) dropped = true;
           }
           if (!dropped) kept.push_back(static_cast<int>(i));
         }
-        auto* node = network_->Add(std::make_unique<UnnestNode>(
+        auto* node = Create(std::make_unique<UnnestNode>(
             op->schema, std::move(collection), std::move(kept),
             options_.fine_grained_unnest));
-        input->AddOutput(node, 0);
-        return node;
+        input.node->AddOutput(node, 0);
+        Built built{node, std::move(input.support)};
+        MergeSupport(built.support, {node});
+        return built;
       }
 
       case OpKind::kExpand:
@@ -237,25 +315,52 @@ class Builder {
         StrCat("unhandled operator ", OpKindName(op->kind)));
   }
 
- private:
   ReteNetwork* network_;
   const PropertyGraph* graph_;
   NetworkOptions options_;
+  NodeRegistry* registry_;
+  std::vector<ReteNode*> created_;
 };
 
 }  // namespace
+
+Result<BuiltView> BuildViewInto(ReteNetwork* network, const OpPtr& plan,
+                                const PropertyGraph* graph,
+                                const NetworkOptions& options,
+                                NodeRegistry* registry) {
+  Builder builder(network, graph, options, registry);
+  Result<Built> root = builder.Build(plan);
+  if (!root.ok()) {
+    // Roll the half-built sub-network back out so earlier views (and the
+    // registry) never see dangling construction debris.
+    if (registry != nullptr) registry->RemoveNodes(builder.created());
+    network->RemoveNodes(builder.created());
+    return root.status();
+  }
+  // The production takes the *plan's* schema: a registry hit may return a
+  // root built for another view, whose schema carries that view's aliases
+  // — positionally identical, but this view's diagnostics and chained
+  // subscribers should see its own column names.
+  auto* production =
+      network->Add(std::make_unique<ProductionNode>(plan->schema));
+  root->node->AddOutput(production, 0);
+  network->SetProduction(production);
+  BuiltView view;
+  view.production = production;
+  view.nodes = std::move(root->support);
+  view.nodes.push_back(production);
+  return view;
+}
 
 Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
     const OpPtr& plan, const PropertyGraph* graph,
     const NetworkOptions& options) {
   auto network = std::make_unique<ReteNetwork>();
   network->set_propagation(options.propagation);
-  Builder builder(network.get(), graph, options);
-  PGIVM_ASSIGN_OR_RETURN(ReteNode* root, builder.Build(plan));
-  auto* production =
-      network->Add(std::make_unique<ProductionNode>(root->schema()));
-  root->AddOutput(production, 0);
-  network->SetProduction(production);
+  PGIVM_ASSIGN_OR_RETURN(
+      BuiltView view,
+      BuildViewInto(network.get(), plan, graph, options, nullptr));
+  (void)view;
   return network;
 }
 

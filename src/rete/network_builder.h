@@ -2,6 +2,7 @@
 #define PGIVM_RETE_NETWORK_BUILDER_H_
 
 #include <memory>
+#include <vector>
 
 #include "algebra/operator.h"
 #include "graph/property_graph.h"
@@ -9,6 +10,8 @@
 #include "support/status.h"
 
 namespace pgivm {
+
+class NodeRegistry;
 
 struct NetworkOptions {
   /// Fold unnest deltas per kept-column projection and emit element-level
@@ -21,14 +24,40 @@ struct NetworkOptions {
   PropagationStrategy propagation = PropagationStrategy::kBatched;
 };
 
-/// Instantiates the FRA plan (paper step 4) as a Rete network over `graph`.
-/// The network is built detached; call Attach() to start maintenance.
+/// One view instantiated inside a (possibly multi-view) network: its
+/// production root plus every Rete node the view references — shared
+/// prefixes included. The ViewCatalog refcounts exactly this set.
+struct BuiltView {
+  ProductionNode* production = nullptr;
+  std::vector<ReteNode*> nodes;  // deduped, production included
+};
+
+/// Instantiates the FRA plan (paper step 4) as a Rete sub-network inside
+/// `network`, which may already host other views. When `registry` is
+/// non-null it is consulted per sub-plan: a fingerprint hit reuses the
+/// existing nodes (and their memories) instead of constructing — the
+/// operator-state sharing that turns a view catalog into one shared
+/// dataflow graph. Downstream expressions are bound against the *plan's*
+/// child schemas, which are positionally identical to any shared node's
+/// output, so sharing is insensitive to query aliases.
+///
+/// On failure every node this call added is removed from `network` and
+/// `registry` again; previously registered views are untouched.
 ///
 /// Lowerings performed here:
 ///  * transitive join → Join(input, PathInputNode) — the path store is the
 ///    fused get-edges side of the paper's ./∗ operator;
 ///  * left outer join → Join ∪ (AntiJoin → null-pad Projection);
-///  * Produce → Projection feeding the ProductionNode (the view root).
+///  * Produce → Projection feeding a fresh ProductionNode (the view root;
+///    productions are never shared).
+Result<BuiltView> BuildViewInto(ReteNetwork* network, const OpPtr& plan,
+                                const PropertyGraph* graph,
+                                const NetworkOptions& options,
+                                NodeRegistry* registry);
+
+/// Single-view convenience: a fresh private network for `plan` (no
+/// sharing). The network is built detached; call Attach() to start
+/// maintenance.
 Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
     const OpPtr& plan, const PropertyGraph* graph,
     const NetworkOptions& options = {});

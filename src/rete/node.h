@@ -1,7 +1,9 @@
 #ifndef PGIVM_RETE_NODE_H_
 #define PGIVM_RETE_NODE_H_
 
+#include <algorithm>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -62,6 +64,18 @@ class ReteNode {
   /// Downstream subscribers as (node, port) pairs, in subscription order.
   const std::vector<std::pair<ReteNode*, int>>& outputs() const {
     return outputs_;
+  }
+
+  /// Unsubscribes every (node, port) edge whose target is in `targets`.
+  /// Used when a sharing consumer is torn down: the surviving upstream node
+  /// keeps its memories and its other subscribers untouched.
+  void RemoveOutputsTo(const std::unordered_set<const ReteNode*>& targets) {
+    outputs_.erase(
+        std::remove_if(outputs_.begin(), outputs_.end(),
+                       [&targets](const std::pair<ReteNode*, int>& out) {
+                         return targets.count(out.first) > 0;
+                       }),
+        outputs_.end());
   }
 
   /// Installs (or with nullptr removes) the emission interception sink.

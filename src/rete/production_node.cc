@@ -15,11 +15,14 @@ void ProductionNode::OnDelta(int port, const Delta& delta) {
     net = &normalized;
   }
   if (net->empty()) return;
+  ++version_;
   for (const DeltaEntry& entry : *net) {
     results_.Apply(entry.tuple, entry.multiplicity);
   }
-  for (ViewChangeListener* listener : listeners_) {
-    listener->OnViewDelta(*net);
+  if (notify_listeners_) {
+    for (ViewChangeListener* listener : listeners_) {
+      listener->OnViewDelta(*net);
+    }
   }
   Emit(*net);  // Views can be chained (used by tests).
 }

@@ -1,6 +1,7 @@
 #ifndef PGIVM_RETE_PRODUCTION_NODE_H_
 #define PGIVM_RETE_PRODUCTION_NODE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "rete/node.h"
@@ -24,10 +25,25 @@ class ProductionNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
-  void Reset() override { results_.Clear(); }
+  void Reset() override {
+    results_.Clear();
+    ++version_;
+  }
 
   /// Current result bag (tuple -> multiplicity).
   const Bag& results() const { return results_; }
+
+  /// Monotonic change counter: bumped whenever `results()` may have changed
+  /// (non-empty delta applied, or Reset). Lets readers cache derived state
+  /// (View::Snapshot's sorted rows) and skip recomputation while unchanged.
+  uint64_t version() const { return version_; }
+
+  /// Temporarily silences listener fan-out. The network disables
+  /// notifications while (re-)priming an attachment: priming replays the
+  /// whole graph content, which is not an observable *change* to a view
+  /// that sharing-induced re-priming rebuilds to the same rows. Results are
+  /// still applied and chained emissions still happen.
+  void set_notify_listeners(bool on) { notify_listeners_ = on; }
 
   /// Rows with multiplicities expanded, sorted for determinism.
   std::vector<Tuple> SortedSnapshot() const;
@@ -46,6 +62,8 @@ class ProductionNode : public ReteNode {
  private:
   Bag results_;
   std::vector<ViewChangeListener*> listeners_;
+  uint64_t version_ = 0;
+  bool notify_listeners_ = true;
 };
 
 }  // namespace pgivm
