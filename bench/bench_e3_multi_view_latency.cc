@@ -127,21 +127,27 @@ BENCHMARK(BM_E3_BatchSweep)
     ->ArgsProduct({{1, 16, 128, 1024}, {0, 1}})
     ->Iterations(20);
 
-// ---- operator-state sharing sweep: views × overlap × shared/unshared -------
+// ---- operator-state sharing sweep: views × overlap × sharing × threads -----
 //
 // The catalog deployment scenario: range(0) standing views are registered,
 // cycling over the first range(1) queries of the pool (so overlap factor =
 // views / range(1): dashboards registering the same standing query are
-// common in monitoring fleets). range(2) toggles operator-state sharing.
-// Reported counters: live Rete nodes, multi-view shared nodes, node-memory
-// bytes (each node once), and the propagation volume of the timed update
-// stream — sharing propagates once per shared node instead of once per
-// view, so both memory and volume drop as overlap grows.
+// common in monitoring fleets). range(2) toggles operator-state sharing and
+// range(3) picks the wave executor: 1 = serial, n > 1 = parallel with n
+// threads, 0 = parallel at hardware concurrency. Each iteration commits one
+// 64-change batch, so items/s is the catalog's propagation throughput —
+// the number the thread sweep scales. Reported counters: live Rete nodes,
+// multi-view shared nodes, node-memory bytes (each node once), wave
+// parallelism actually in effect, and the propagation volume of the timed
+// stream (identical across thread counts: parallel waves are bit-identical
+// to serial).
 
 void BM_E3_CatalogSharingSweep(benchmark::State& state) {
   int64_t num_views = state.range(0);
   size_t pool = static_cast<size_t>(state.range(1));
   bool shared = state.range(2) == 1;
+  int64_t threads = state.range(3);
+  constexpr int kChangesPerBatch = 64;
 
   PropertyGraph graph;
   SocialNetworkConfig config;
@@ -151,6 +157,10 @@ void BM_E3_CatalogSharingSweep(benchmark::State& state) {
 
   EngineOptions options;
   options.catalog.share_operator_state = shared;
+  if (threads != 1) {
+    options.network.executor = ExecutorKind::kParallel;
+    options.network.num_threads = static_cast<int>(threads);
+  }
   QueryEngine engine(&graph, options);
   std::vector<std::shared_ptr<View>> views;
   std::vector<std::string> catalog = StandingQueries();
@@ -174,21 +184,40 @@ void BM_E3_CatalogSharingSweep(benchmark::State& state) {
   int64_t emitted_before = total_emitted();
   for (auto _ : state) {
     graph.BeginBatch();
-    for (int i = 0; i < 16; ++i) generator.ApplyRandomUpdate(&graph);
+    for (int i = 0; i < kChangesPerBatch; ++i) {
+      generator.ApplyRandomUpdate(&graph);
+    }
     graph.CommitBatch();
   }
   int64_t emitted = total_emitted() - emitted_before;
 
+  int parallelism = 1;
+  if (shared && engine.catalog().shared_network() != nullptr) {
+    parallelism = engine.catalog().shared_network()->executor_parallelism();
+  } else if (!views.empty()) {
+    parallelism = views.front()->network().executor_parallelism();
+  }
+
   CatalogStats stats = engine.catalog().Stats();
+  state.SetItemsProcessed(state.iterations() * kChangesPerBatch);
   state.counters["views"] = static_cast<double>(views.size());
   state.counters["nodes"] = static_cast<double>(stats.total_nodes);
   state.counters["shared_nodes"] = static_cast<double>(stats.shared_nodes);
   state.counters["mem_bytes"] = static_cast<double>(stats.memory_bytes);
   state.counters["emitted"] = static_cast<double>(emitted);
-  state.SetLabel(shared ? "shared" : "unshared");
+  state.counters["threads"] = static_cast<double>(parallelism);
+  state.SetLabel(std::string(shared ? "shared" : "unshared") + "/" +
+                 (parallelism > 1 ? "parallel" : "serial"));
 }
 BENCHMARK(BM_E3_CatalogSharingSweep)
-    ->ArgsProduct({{4, 8, 16}, {2, 4, 8}, {0, 1}})
+    // The PR-2 sharing matrix, serial executor.
+    ->ArgsProduct({{4, 8, 16}, {2, 4, 8}, {0, 1}, {1}})
+    // The wave-executor thread sweep over the 16-view shared catalog (the
+    // fleet-maintenance scenario parallel waves target): serial vs 2/4/8
+    // workers vs hardware concurrency (0). Wall-clock timing, so items/s
+    // is the actual propagation throughput, not summed thread time.
+    ->ArgsProduct({{16}, {4, 8}, {1}, {2, 4, 8, 0}})
+    ->UseRealTime()
     ->Iterations(20);
 
 }  // namespace

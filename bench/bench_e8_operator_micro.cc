@@ -165,6 +165,87 @@ void BM_E8_Aggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_E8_Aggregate)->Iterations(1000);
 
+// ---- tuple derivation micro-benchmarks -------------------------------------
+//
+// Join delivery manufactures one output tuple per matched pair via
+// Concat/Project-style combination; these isolate the per-tuple cost of
+// that path (exact-width reservation + incremental hash continuation vs
+// the former rebuild-and-rehash).
+
+void BM_E8_TupleConcat(benchmark::State& state) {
+  int64_t width = state.range(0);
+  std::vector<Value> left_values;
+  std::vector<Value> right_values;
+  for (int64_t i = 0; i < width; ++i) {
+    left_values.push_back(Value::Int(i));
+    right_values.push_back(Value::String("col" + std::to_string(i)));
+  }
+  Tuple left(left_values);
+  Tuple right(right_values);
+  for (auto _ : state) {
+    Tuple out = left.Concat(right);
+    benchmark::DoNotOptimize(out.Hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["width"] = static_cast<double>(2 * width);
+}
+BENCHMARK(BM_E8_TupleConcat)->Arg(2)->Arg(4)->Arg(8)->Iterations(200000);
+
+void BM_E8_TupleProject(benchmark::State& state) {
+  std::vector<Value> values;
+  for (int64_t i = 0; i < 8; ++i) {
+    values.push_back(Value::String("payload" + std::to_string(i)));
+  }
+  Tuple tuple(values);
+  std::vector<int> indices{6, 4, 2, 0};
+  for (auto _ : state) {
+    Tuple out = tuple.Project(indices);
+    benchmark::DoNotOptimize(out.Hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_E8_TupleProject)->Iterations(200000);
+
+void BM_E8_TupleConcatProjected(benchmark::State& state) {
+  // The exact join-delivery combination: left row + right-only columns.
+  Tuple left({Value::Int(1), Value::String("k"), Value::Int(2)});
+  Tuple right({Value::String("k"), Value::Int(7), Value::String("rest"),
+               Value::Double(2.5)});
+  std::vector<int> right_rest{1, 2, 3};
+  for (auto _ : state) {
+    Tuple out = left.ConcatProjected(right, right_rest);
+    benchmark::DoNotOptimize(out.Hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_E8_TupleConcatProjected)->Iterations(200000);
+
+// Tiny-payload consolidation: the (node, port) queues of single-change
+// waves carry 1–2 entries; range(0) is the payload size, range(1) selects
+// the sort path (0) or the pairwise fast path (1, the default cutoff).
+void BM_E8_ConsolidateTiny(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t cutoff = state.range(1) == 0 ? 0 : kDefaultConsolidationCutoff;
+  Rng rng(7);
+  Delta base;
+  for (size_t i = 0; i < n; ++i) {
+    base.push_back({Tuple({Value::Int(static_cast<int64_t>(rng.NextBelow(4))),
+                           Value::Int(static_cast<int64_t>(i))}),
+                    rng.NextBool(0.5) ? 1 : -1});
+  }
+  Delta work;
+  for (auto _ : state) {
+    work = base;
+    Consolidate(work, cutoff);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(cutoff == 0 ? "sort" : "fastpath");
+}
+BENCHMARK(BM_E8_ConsolidateTiny)
+    ->ArgsProduct({{1, 2}, {0, 1}})
+    ->Iterations(500000);
+
 void BM_E8_Consolidate(benchmark::State& state) {
   // Throughput of the between-wave consolidation primitive on a delta with
   // heavy duplication (each tuple appears ~8 times with mixed signs).

@@ -20,8 +20,10 @@ std::string CatalogStats::ToString() const {
 std::shared_ptr<ViewCatalog> ViewCatalog::Create(
     PropertyGraph* graph, NetworkOptions network_options,
     CatalogOptions options) {
-  return std::shared_ptr<ViewCatalog>(
-      new ViewCatalog(graph, network_options, options));
+  // PGIVM_THREADS wins over programmatic executor configuration for every
+  // network this catalog creates (shared or per-view).
+  return std::shared_ptr<ViewCatalog>(new ViewCatalog(
+      graph, ApplyEnvExecutorOverride(network_options), options));
 }
 
 Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
@@ -43,6 +45,10 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
     if (network_ == nullptr) {
       network_ = std::make_unique<ReteNetwork>();
       network_->set_propagation(network_options_.propagation);
+      network_->set_executor(network_options_.executor,
+                             network_options_.num_threads);
+      network_->set_consolidation_cutoff(
+          network_options_.consolidation_cutoff);
     }
     Result<BuiltView> built = BuildViewInto(network_.get(), view->fra_,
                                             graph_, network_options_,

@@ -68,6 +68,10 @@ class View {
   /// EngineOptions::network at registration time).
   PropagationStrategy propagation() const { return network_->propagation(); }
 
+  /// Wave executor of the underlying network (after the PGIVM_THREADS
+  /// environment override; see NetworkOptions::executor).
+  ExecutorKind executor() const { return network_->executor(); }
+
   /// Memory held by the Rete node memories this view references. Under
   /// sharing, nodes serving sibling views too are counted in full; the
   /// catalog's Stats().memory_bytes deduplicates and

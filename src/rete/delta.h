@@ -27,11 +27,23 @@ using Delta = std::vector<DeltaEntry>;
 /// semantically irrelevant.
 Delta Normalize(const Delta& delta);
 
+/// Default `small_cutoff` for Consolidate: payloads of 1–2 entries — by far
+/// the most common case under single-change graph deltas — skip the
+/// sort-based path entirely. NetworkOptions::consolidation_cutoff overrides
+/// this per network.
+inline constexpr size_t kDefaultConsolidationCutoff = 2;
+
 /// In-place Normalize: merges entries by tuple and drops zero-multiplicity
 /// residue, without allocating. The batched propagation scheduler applies
 /// this to every queued delta between waves, so inverse pairs (+t/−t)
 /// cancel before they are ever delivered downstream.
-void Consolidate(Delta& delta);
+///
+/// Payloads of `small_cutoff` entries or fewer take a pairwise-merge fast
+/// path instead of the sort machinery; the result is bit-identical to the
+/// sort path (same canonical order), so the cutoff is purely a performance
+/// knob — tiny waves don't amortize a sort.
+void Consolidate(Delta& delta,
+                 size_t small_cutoff = kDefaultConsolidationCutoff);
 
 /// True if `delta` is already in Normalize's canonical form (strictly
 /// ascending canonical order, no zero multiplicities) — lets consumers on

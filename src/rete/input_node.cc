@@ -170,12 +170,16 @@ void VertexInputNode::EmitInitialFromGraph() {
     asserted_.emplace(v, tuple);
     delta.push_back({std::move(tuple), 1});
   };
+  // One entry per matching vertex: reserve the candidate count up front so
+  // priming a large graph does not grow the delta step by step.
   if (!required_labels_.empty()) {
     std::vector<VertexId> candidates =
         graph_->VerticesWithLabel(required_labels_[0]);
     std::sort(candidates.begin(), candidates.end());
+    delta.reserve(candidates.size());
     for (VertexId v : candidates) consider(v);
   } else {
+    delta.reserve(graph_->vertex_count());
     graph_->ForEachVertex(consider);
   }
   Emit(std::move(delta));
@@ -287,6 +291,9 @@ void EdgeInputNode::RefreshIncident(VertexId v, Delta& out) {
   std::sort(incident.begin(), incident.end());
   incident.erase(std::unique(incident.begin(), incident.end()),
                  incident.end());
+  // Worst case every incident stored orientation flips: one retract/assert
+  // pair per tuple.
+  out.reserve(out.size() + 2 * incident.size() * (undirected_ ? 2 : 1));
   for (EdgeId e : incident) {
     auto it = asserted_.find(e);
     if (it == asserted_.end()) continue;
@@ -320,6 +327,7 @@ void EdgeInputNode::HandleChange(const GraphChange& change) {
     case GraphChange::Kind::kRemoveEdge: {
       auto it = asserted_.find(change.edge);
       if (it == asserted_.end()) return;
+      out.reserve(it->second.size());
       for (const Tuple& tuple : it->second) out.push_back({tuple, -1});
       asserted_.erase(it);
       break;
@@ -374,6 +382,10 @@ void EdgeInputNode::EmitInitialFromGraph() {
     AssertEdge(e, graph_->EdgeSource(e), graph_->EdgeTarget(e),
                graph_->EdgeType(e), graph_->EdgeProperties(e), delta);
   };
+  // Reserve against the *filtered* candidate count (one entry per
+  // orientation), not the whole edge store — a selective type over a huge
+  // graph must not transiently allocate O(all edges), and priming repeats
+  // on every catalog registration.
   if (!types_.empty()) {
     std::vector<EdgeId> candidates;
     for (const std::string& type : types_) {
@@ -383,8 +395,10 @@ void EdgeInputNode::EmitInitialFromGraph() {
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
+    delta.reserve(candidates.size() * (undirected_ ? 2 : 1));
     for (EdgeId e : candidates) consider(e);
   } else {
+    delta.reserve(graph_->edge_count() * (undirected_ ? 2 : 1));
     graph_->ForEachEdge(consider);
   }
   Emit(std::move(delta));

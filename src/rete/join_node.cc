@@ -32,12 +32,7 @@ void JoinNode::Apply(Memory& memory, const Tuple& key, const Tuple& tuple,
 }
 
 Tuple JoinNode::Combine(const Tuple& left, const Tuple& right) const {
-  std::vector<Value> values = left.values();
-  values.reserve(values.size() + layout_.right_rest.size());
-  for (int i : layout_.right_rest) {
-    values.push_back(right.at(static_cast<size_t>(i)));
-  }
-  return Tuple(std::move(values));
+  return left.ConcatProjected(right, layout_.right_rest);
 }
 
 void JoinNode::OnDelta(int port, const Delta& delta) {

@@ -17,6 +17,16 @@ const char* PropagationStrategyName(PropagationStrategy strategy) {
   return "?";
 }
 
+const char* ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSerial:
+      return "serial";
+    case ExecutorKind::kParallel:
+      return "parallel";
+  }
+  return "?";
+}
+
 ReteNetwork::~ReteNetwork() { Detach(); }
 
 void ReteNetwork::SetProduction(ProductionNode* production) {
@@ -33,6 +43,13 @@ void ReteNetwork::set_propagation(PropagationStrategy strategy) {
          "change the propagation strategy before Attach");
   if (attached_graph_ != nullptr) return;  // sinks are installed per Attach
   propagation_ = strategy;
+}
+
+void ReteNetwork::set_executor(ExecutorKind kind, int num_threads) {
+  assert(attached_graph_ == nullptr && "change the executor before Attach");
+  if (attached_graph_ != nullptr) return;  // the pool is built per Attach
+  executor_ = kind;
+  executor_threads_ = num_threads;
 }
 
 void ReteNetwork::Attach(PropertyGraph* graph) {
@@ -59,6 +76,19 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   primed_graph_ = graph;
 
   const bool batched = propagation_ == PropagationStrategy::kBatched;
+  // The executor only affects batched wave scheduling; the eager cascade is
+  // a depth-first recursion with no parallel unit. A resolved parallelism
+  // of 1 keeps the serial fast path (no pool, no dispatch).
+  if (batched && executor_ == ExecutorKind::kParallel) {
+    int threads = ThreadPool::ResolveThreadCount(executor_threads_);
+    if (threads > 1 &&
+        (pool_ == nullptr || pool_->parallelism() != threads)) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    if (threads <= 1) pool_.reset();
+  } else {
+    pool_.reset();
+  }
   if (batched) {
     PrepareScheduler();
   } else {
@@ -69,6 +99,13 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   }
   for (const auto& node : nodes_) {
     node->set_emit_sink(batched ? this : nullptr);
+  }
+  // Under parallel waves, listener callbacks must not run on pool workers
+  // (user code; two productions in one wave would fire concurrently) —
+  // productions buffer them and the barrier flushes serially, in ready
+  // order, preserving the serial executor's threading contract.
+  for (ProductionNode* production : productions_) {
+    production->set_defer_notifications(pool_ != nullptr);
   }
 
   attached_graph_ = graph;
@@ -196,7 +233,7 @@ void ReteNetwork::PrepareScheduler() {
   std::vector<ReteNode*> reachable;
   reachable.reserve(nodes_.size());
   for (const auto& node : nodes_) {
-    states_[node.get()];
+    states_[node.get()].owned = true;
     reachable.push_back(node.get());
   }
   for (size_t i = 0; i < reachable.size(); ++i) {
@@ -238,8 +275,21 @@ void ReteNetwork::EnqueueReady(ReteNode* node, NodeState& state) {
   ready_by_level_[static_cast<size_t>(state.level)].push_back(node);
 }
 
+void ReteNetwork::DeliverPending(ReteNode* node, NodeState& state) {
+  for (auto& [port, pending] : state.pending) {
+    if (!pending.clean) Consolidate(pending.delta, consolidation_cutoff_);
+    if (!pending.delta.empty()) node->OnDelta(port, pending.delta);
+    // Empty in place (not pending.clear()): the slots and their Delta
+    // buffers survive, so steady-state waves do not re-allocate.
+    pending.delta.clear();
+    pending.clean = false;
+  }
+  // Consolidating the response here (rather than in FlushNode) puts the
+  // sort inside the parallel phase when the wave runs on the pool.
+  Consolidate(state.out, consolidation_cutoff_);
+}
+
 void ReteNetwork::FlushNode(ReteNode* node, NodeState& state) {
-  Consolidate(state.out);
   if (state.out.empty()) return;
   node->AddEmittedEntries(static_cast<int64_t>(state.out.size()));
   const auto& outputs = node->outputs();
@@ -255,10 +305,13 @@ void ReteNetwork::FlushNode(ReteNode* node, NodeState& state) {
     NodeState& dst = dst_it->second;
     PendingDelta& pending = PendingFor(dst, port);
     if (pending.delta.empty()) {
-      // Single consolidated flush: move (for the last subscriber) and mark
-      // clean so delivery skips re-consolidation.
+      // Single consolidated flush: swap (for the last subscriber) and mark
+      // clean so delivery skips re-consolidation. A swap rather than a
+      // move, so the pending slot's previous-wave buffer comes back as the
+      // node's staging buffer instead of being freed — steady-state waves
+      // recycle capacity in both directions.
       if (i + 1 == outputs.size()) {
-        pending.delta = std::move(state.out);
+        std::swap(pending.delta, state.out);
       } else {
         pending.delta = state.out;
       }
@@ -275,27 +328,59 @@ void ReteNetwork::FlushNode(ReteNode* node, NodeState& state) {
 
 void ReteNetwork::DrainWaves() {
   draining_ = true;
+  const bool parallel = pool_ != nullptr;
   for (auto& ready : ready_by_level_) {
     // Appends only target strictly higher levels, so iterating by index
     // while lower levels flush into this one is safe; a level never grows
     // while it is being drained.
+    const bool wave_parallel = parallel && ready.size() > 1;
+    if (wave_parallel) {
+      // Phase 1 — the wave's owned nodes run data-parallel. Each node is
+      // claimed by exactly one worker, so node memories and the per-node
+      // staging slot (state.out) are single-writer; OnEmit under a live
+      // wave only appends to the emitting node's own slot (the node is
+      // already queued, so no ready-list mutation). Foreign subscribers
+      // (no sink) would cascade eagerly into other nodes, so they stay
+      // out of this phase and run at the barrier below.
+      wave_scratch_.clear();
+      for (ReteNode* node : ready) {
+        if (states_.at(node).owned) wave_scratch_.push_back(node);
+      }
+      if (wave_scratch_.size() > 1) {
+        pool_->Run(wave_scratch_.size(), [this](size_t i) {
+          ReteNode* node = wave_scratch_[i];
+          DeliverPending(node, states_.at(node));
+        });
+      } else if (!wave_scratch_.empty()) {
+        DeliverPending(wave_scratch_[0], states_.at(wave_scratch_[0]));
+      }
+    }
+    // Phase 2 — the barrier merge: flush every node's staged output
+    // downstream in ready order, exactly the sequence the serial drain
+    // produces, so pending queues (and with them every delivered delta)
+    // are bit-identical regardless of thread count. Nodes phase 1 did not
+    // deliver (serial waves; foreign nodes, whose eager cascade must not
+    // run on a worker) run their delivery here, in their ready position.
     for (size_t i = 0; i < ready.size(); ++i) {
       ReteNode* node = ready[i];
       NodeState& state = states_.at(node);
-      for (auto& [port, pending] : state.pending) {
-        if (!pending.clean) Consolidate(pending.delta);
-        if (!pending.delta.empty()) node->OnDelta(port, pending.delta);
-        // Empty in place (not pending.clear()): the slots and their Delta
-        // buffers survive, so steady-state waves do not re-allocate.
-        pending.delta.clear();
-        pending.clean = false;
-      }
+      if (!wave_parallel || !state.owned) DeliverPending(node, state);
       FlushNode(node, state);
+      node->OnWaveBarrier();  // deferred listener notifications etc.
       // Cleared only after the flush: emissions from the node's own wave
       // must not re-enqueue it (nothing new can arrive at this level).
       state.queued = false;
     }
     ready.clear();
+  }
+  // Safety net for productions fed through FlushNode's direct (non-
+  // scheduled) delivery branch: they buffer notifications without ever
+  // entering a ready list, so no per-wave barrier reaches them. No-op for
+  // productions with nothing buffered.
+  if (parallel) {
+    for (ProductionNode* production : productions_) {
+      production->OnWaveBarrier();
+    }
   }
   draining_ = false;
 }
@@ -319,7 +404,10 @@ size_t ReteNetwork::ApproxMemoryBytes() const {
 
 std::string ReteNetwork::DebugString() const {
   std::ostringstream os;
-  os << "propagation=" << PropagationStrategyName(propagation_) << "\n";
+  os << "propagation=" << PropagationStrategyName(propagation_)
+     << " executor=" << ExecutorKindName(executor_);
+  if (pool_ != nullptr) os << "(" << pool_->parallelism() << ")";
+  os << "\n";
   for (const auto& node : nodes_) {
     os << node->DebugString();
     int level = node_level(node.get());

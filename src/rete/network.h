@@ -11,6 +11,7 @@
 #include "rete/input_node.h"
 #include "rete/node.h"
 #include "rete/production_node.h"
+#include "support/thread_pool.h"
 
 namespace pgivm {
 
@@ -32,6 +33,25 @@ enum class PropagationStrategy {
 };
 
 const char* PropagationStrategyName(PropagationStrategy strategy);
+
+/// How the batched scheduler executes the nodes of one topological wave.
+/// Nodes inside a wave have no data dependencies (levels are strict), so
+/// they can be processed concurrently without changing any result.
+enum class ExecutorKind {
+  /// One thread drains the wave in ready order (the PR-1 behaviour).
+  kSerial,
+
+  /// A persistent worker pool processes the wave's nodes concurrently.
+  /// Each node is claimed by exactly one worker (node memories need no
+  /// locks) and emissions land in per-node staging buffers that the wave
+  /// barrier merges in ready order — downstream deliveries are therefore
+  /// bit-identical to serial execution regardless of thread count. Only
+  /// meaningful under PropagationStrategy::kBatched; the eager cascade is
+  /// inherently sequential.
+  kParallel,
+};
+
+const char* ExecutorKindName(ExecutorKind kind);
 
 /// One compiled Rete network: owns its nodes, routes graph deltas into the
 /// source nodes, and exposes the production (view) root.
@@ -80,6 +100,27 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// Selects the propagation strategy. Must be called before Attach().
   void set_propagation(PropagationStrategy strategy);
   PropagationStrategy propagation() const { return propagation_; }
+
+  /// Selects the wave executor. `num_threads` is the total parallelism for
+  /// kParallel (0 = hardware concurrency); the pool is created at Attach()
+  /// and persists across waves. Must be called before Attach(). kParallel
+  /// with a resolved parallelism of 1 degrades to serial execution.
+  void set_executor(ExecutorKind kind, int num_threads = 0);
+  ExecutorKind executor() const { return executor_; }
+
+  /// The wave parallelism actually in effect after Attach(): the pool size
+  /// under kParallel, 1 otherwise.
+  int executor_parallelism() const {
+    return pool_ != nullptr ? pool_->parallelism() : 1;
+  }
+
+  /// Payload size at or below which between-wave consolidation takes the
+  /// pairwise fast path instead of sorting (see Consolidate). Purely a
+  /// performance knob — results are identical for any value.
+  void set_consolidation_cutoff(size_t cutoff) {
+    consolidation_cutoff_ = cutoff;
+  }
+  size_t consolidation_cutoff() const { return consolidation_cutoff_; }
 
   /// Starts maintaining against `graph` (see class comment). Requires a
   /// production node. Attaching while already attached is a no-op, as is
@@ -137,9 +178,19 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// while running (flushed downstream as one consolidated delta). The
   /// pending list is kept sorted by port (delivery order 0, 1, ...); it is
   /// a flat vector because real nodes have at most two ports.
+  ///
+  /// `out` doubles as the node's staging buffer under parallel execution:
+  /// one node is processed by exactly one worker per wave, so its slot is
+  /// written by a single thread, and the wave barrier merges all slots
+  /// downstream in ready order.
   struct NodeState {
     int level = 0;
     bool queued = false;
+    /// True for nodes this network owns (emit sink installed). Foreign
+    /// subscribers cascade eagerly into arbitrary downstream nodes when
+    /// run, so they are kept out of the parallel phase and processed at
+    /// the barrier instead.
+    bool owned = false;
     std::vector<std::pair<int, PendingDelta>> pending;
     Delta out;
   };
@@ -156,11 +207,21 @@ class ReteNetwork : public GraphListener, private EmitSink {
 
   void EnqueueReady(ReteNode* node, NodeState& state);
 
-  /// Consolidates `node`'s buffered output, accounts it, and appends it to
-  /// each downstream (node, port) pending queue.
+  /// Delivers `node`'s queued per-port deltas (consolidating each unless
+  /// already clean) and consolidates whatever the node emitted in response
+  /// into `state.out`. This is the per-node work a wave distributes across
+  /// workers; it touches only the node's own memories and scheduler slot.
+  void DeliverPending(ReteNode* node, NodeState& state);
+
+  /// Accounts `node`'s consolidated output and appends it to each
+  /// downstream (node, port) pending queue. Always runs on the draining
+  /// thread, in ready order — the deterministic merge point of a wave.
   void FlushNode(ReteNode* node, NodeState& state);
 
   /// Drains all queued work level by level until the network is quiescent.
+  /// Under kParallel each level's owned nodes are processed concurrently
+  /// (phase 1) before the barrier merge (phase 2); results are
+  /// bit-identical to serial draining.
   void DrainWaves();
 
   std::vector<std::unique_ptr<ReteNode>> nodes_;
@@ -176,6 +237,15 @@ class ReteNetwork : public GraphListener, private EmitSink {
   int64_t changes_processed_ = 0;
 
   PropagationStrategy propagation_ = PropagationStrategy::kBatched;
+  ExecutorKind executor_ = ExecutorKind::kSerial;
+  int executor_threads_ = 0;  // 0 = hardware concurrency
+  /// Lazily built at Attach() when the resolved executor is parallel;
+  /// workers persist across waves and attachments.
+  std::unique_ptr<ThreadPool> pool_;
+  size_t consolidation_cutoff_ = kDefaultConsolidationCutoff;
+  /// Scratch for the wave loop: the owned subset of the level being
+  /// drained (kept as a member so steady-state waves don't allocate).
+  std::vector<ReteNode*> wave_scratch_;
   /// True while a graph delta is being translated into source buffers
   /// (drain deferred until translation finishes) / while DrainWaves runs.
   /// An OnEmit with neither set is an externally fed node (chained views)

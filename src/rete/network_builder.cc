@@ -1,6 +1,7 @@
 #include "rete/network_builder.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "catalog/node_registry.h"
 #include "rete/aggregate_node.h"
@@ -352,11 +353,32 @@ Result<BuiltView> BuildViewInto(ReteNetwork* network, const OpPtr& plan,
   return view;
 }
 
+NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options) {
+  const char* env = std::getenv("PGIVM_THREADS");
+  if (env == nullptr || *env == '\0') return options;
+  char* end = nullptr;
+  long threads = std::strtol(env, &end, 10);
+  if (end == env) return options;  // not a number: ignore
+  if (threads > 1) {
+    options.executor = ExecutorKind::kParallel;
+    options.num_threads = static_cast<int>(threads);
+  } else {
+    options.executor = ExecutorKind::kSerial;
+    options.num_threads = 1;
+  }
+  return options;
+}
+
 Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
     const OpPtr& plan, const PropertyGraph* graph,
     const NetworkOptions& options) {
+  // `options` is taken as-given: the PGIVM_THREADS override is applied
+  // exactly once, at ViewCatalog::Create — never re-read here, so a view
+  // registered later cannot resolve differently from its engine.
   auto network = std::make_unique<ReteNetwork>();
   network->set_propagation(options.propagation);
+  network->set_executor(options.executor, options.num_threads);
+  network->set_consolidation_cutoff(options.consolidation_cutoff);
   PGIVM_ASSIGN_OR_RETURN(
       BuiltView view,
       BuildViewInto(network.get(), plan, graph, options, nullptr));

@@ -22,7 +22,33 @@ struct NetworkOptions {
   /// kBatched consolidates per-(node, port) queues between topological
   /// waves — the default; kEager is the seed's per-change recursion.
   PropagationStrategy propagation = PropagationStrategy::kBatched;
+
+  /// How a topological wave's nodes are executed under kBatched (see
+  /// ExecutorKind). kSerial is the default-compatible single-thread drain;
+  /// kParallel distributes each wave over a persistent worker pool with
+  /// bit-identical results. Ignored under kEager.
+  ExecutorKind executor = ExecutorKind::kSerial;
+
+  /// Total wave parallelism for ExecutorKind::kParallel, including the
+  /// dispatching thread; 0 = the machine's hardware concurrency.
+  int num_threads = 0;
+
+  /// Delta payloads of this size or fewer bypass sort-based consolidation
+  /// for a pairwise fast path (see Consolidate). Identical results for any
+  /// value; 0 disables the fast path entirely.
+  size_t consolidation_cutoff = kDefaultConsolidationCutoff;
 };
+
+/// Returns `options` with the `PGIVM_THREADS` environment override applied:
+/// when the variable is set to an integer n, n > 1 forces
+/// ExecutorKind::kParallel with n threads and n <= 1 forces kSerial —
+/// regardless of what the options said. This is the operator-level escape
+/// hatch (and how CI runs the whole suite under a parallel executor). It
+/// is applied exactly once per engine, at ViewCatalog::Create, so every
+/// network the engine ever creates — shared or per-view, registered at any
+/// time — resolves against the environment as it was at construction;
+/// BuildNetwork and hand-wired ReteNetworks take options as-given.
+NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options);
 
 /// One view instantiated inside a (possibly multi-view) network: its
 /// production root plus every Rete node the view references — shared

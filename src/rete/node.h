@@ -56,6 +56,13 @@ class ReteNode {
   /// nodes need not override.
   virtual void Reset() {}
 
+  /// Called by the batched scheduler on the draining thread, in ready
+  /// order, after this node's wave work has been flushed — the hook where
+  /// work deferred out of a (possibly parallel) wave runs serially.
+  /// ProductionNode uses it to fire listener notifications buffered during
+  /// parallel delivery, so user listener code never runs concurrently.
+  virtual void OnWaveBarrier() {}
+
   /// Subscribes `node` to this node's output, delivering to its `port`.
   void AddOutput(ReteNode* node, int port) {
     outputs_.emplace_back(node, port);

@@ -19,12 +19,29 @@ void ProductionNode::OnDelta(int port, const Delta& delta) {
   for (const DeltaEntry& entry : *net) {
     results_.Apply(entry.tuple, entry.multiplicity);
   }
-  if (notify_listeners_) {
-    for (ViewChangeListener* listener : listeners_) {
-      listener->OnViewDelta(*net);
+  if (notify_listeners_ && !listeners_.empty()) {
+    if (defer_notifications_) {
+      // Mid-parallel-wave: listener code must not run on a pool worker.
+      // Buffered here (single writer: one worker owns this node) and
+      // flushed from OnWaveBarrier on the draining thread.
+      deferred_notifications_.push_back(*net);
+    } else {
+      for (ViewChangeListener* listener : listeners_) {
+        listener->OnViewDelta(*net);
+      }
     }
   }
   Emit(*net);  // Views can be chained (used by tests).
+}
+
+void ProductionNode::OnWaveBarrier() {
+  if (deferred_notifications_.empty()) return;
+  for (const Delta& delta : deferred_notifications_) {
+    for (ViewChangeListener* listener : listeners_) {
+      listener->OnViewDelta(delta);
+    }
+  }
+  deferred_notifications_.clear();
 }
 
 std::vector<Tuple> ProductionNode::SortedSnapshot() const {

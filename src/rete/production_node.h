@@ -25,6 +25,11 @@ class ProductionNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  /// Flushes notifications buffered while defer_notifications() was on:
+  /// one OnViewDelta call per buffered delivery, in delivery order, on the
+  /// calling (draining) thread.
+  void OnWaveBarrier() override;
+
   void Reset() override {
     results_.Clear();
     ++version_;
@@ -45,6 +50,21 @@ class ProductionNode : public ReteNode {
   /// still applied and chained emissions still happen.
   void set_notify_listeners(bool on) { notify_listeners_ = on; }
 
+  /// Under parallel wave execution several productions' OnDelta calls run
+  /// concurrently; with this flag set (by the network at a parallel
+  /// Attach) listener notifications are buffered instead of fired inline
+  /// and delivered from OnWaveBarrier() — serially, in ready order — so
+  /// user listener code keeps the serial executor's threading contract.
+  /// Result application and chained emissions are unaffected.
+  ///
+  /// One visible difference from inline delivery: the barrier runs after
+  /// the whole wave's deltas are applied, so a listener that reads a
+  /// *sibling* view mid-callback may observe same-wave siblings already
+  /// updated where the serial executor would still show their previous
+  /// rows — never stale and never torn, just at-least-as-fresh. Payload
+  /// sequences and final snapshots are identical either way.
+  void set_defer_notifications(bool on) { defer_notifications_ = on; }
+
   /// Rows with multiplicities expanded, sorted for determinism.
   std::vector<Tuple> SortedSnapshot() const;
 
@@ -62,8 +82,13 @@ class ProductionNode : public ReteNode {
  private:
   Bag results_;
   std::vector<ViewChangeListener*> listeners_;
+  /// Deliveries whose notification is deferred to the wave barrier (one
+  /// element per OnDelta, so listeners see the same call granularity as
+  /// under inline notification).
+  std::vector<Delta> deferred_notifications_;
   uint64_t version_ = 0;
   bool notify_listeners_ = true;
+  bool defer_notifications_ = false;
 };
 
 }  // namespace pgivm

@@ -8,8 +8,14 @@ namespace pgivm {
 
 namespace {
 
+/// Seed of the tuple hash fold. The full hash of a tuple is
+/// fold(kTupleHashSeed, column hashes, HashCombine) — a *left fold*, which
+/// is what lets Concat/Append continue from the prefix's cached hash
+/// instead of re-hashing every column.
+constexpr size_t kTupleHashSeed = 0x74757065;  // "tupe"
+
 size_t HashValues(const std::vector<Value>& values) {
-  size_t seed = 0x74757065;  // "tupe"
+  size_t seed = kTupleHashSeed;
   for (const Value& v : values) HashCombine(seed, v.Hash());
   return seed;
 }
@@ -23,20 +29,49 @@ Tuple::Tuple(std::vector<Value> values)
 Tuple Tuple::Project(const std::vector<int>& indices) const {
   std::vector<Value> out;
   out.reserve(indices.size());
-  for (int i : indices) out.push_back(at(static_cast<size_t>(i)));
-  return Tuple(std::move(out));
+  size_t hash = kTupleHashSeed;
+  for (int i : indices) {
+    const Value& v = at(static_cast<size_t>(i));
+    HashCombine(hash, v.Hash());
+    out.push_back(v);
+  }
+  return Tuple(std::move(out), hash);
 }
 
 Tuple Tuple::Concat(const Tuple& suffix) const {
-  std::vector<Value> out = *values_;
-  out.insert(out.end(), suffix.values_->begin(), suffix.values_->end());
-  return Tuple(std::move(out));
+  std::vector<Value> out;
+  out.reserve(size() + suffix.size());
+  out.insert(out.end(), values_->begin(), values_->end());
+  size_t hash = hash_;
+  for (const Value& v : *suffix.values_) {
+    HashCombine(hash, v.Hash());
+    out.push_back(v);
+  }
+  return Tuple(std::move(out), hash);
+}
+
+Tuple Tuple::ConcatProjected(const Tuple& suffix,
+                             const std::vector<int>& indices) const {
+  std::vector<Value> out;
+  out.reserve(size() + indices.size());
+  out.insert(out.end(), values_->begin(), values_->end());
+  size_t hash = hash_;
+  for (int i : indices) {
+    const Value& v = suffix.at(static_cast<size_t>(i));
+    HashCombine(hash, v.Hash());
+    out.push_back(v);
+  }
+  return Tuple(std::move(out), hash);
 }
 
 Tuple Tuple::Append(Value v) const {
-  std::vector<Value> out = *values_;
+  std::vector<Value> out;
+  out.reserve(size() + 1);
+  out.insert(out.end(), values_->begin(), values_->end());
+  size_t hash = hash_;
+  HashCombine(hash, v.Hash());
   out.push_back(std::move(v));
-  return Tuple(std::move(out));
+  return Tuple(std::move(out), hash);
 }
 
 Tuple Tuple::WithColumn(size_t i, Value v) const {

@@ -22,13 +22,25 @@ class Tuple {
   const Value& at(size_t i) const { return (*values_)[i]; }
   const std::vector<Value>& values() const { return *values_; }
 
-  /// New tuple holding the columns at `indices`, in that order.
+  /// New tuple holding the columns at `indices`, in that order. The result
+  /// hash is folded while the columns are gathered — one pass, one
+  /// allocation.
   Tuple Project(const std::vector<int>& indices) const;
 
-  /// New tuple: this tuple's columns followed by `suffix`'s.
+  /// New tuple: this tuple's columns followed by `suffix`'s. Storage is
+  /// reserved to the exact final width and the hash continues incrementally
+  /// from this tuple's cached hash (the tuple hash is a left fold over the
+  /// column hashes), so neither side is re-hashed.
   Tuple Concat(const Tuple& suffix) const;
 
-  /// New tuple with one extra column appended.
+  /// New tuple: this tuple's columns followed by `suffix`'s columns at
+  /// `indices`, in that order — the join-delivery combination (left row +
+  /// right-only columns) as one reserved allocation with an incremental
+  /// hash, instead of Concat(suffix.Project(indices))'s two.
+  Tuple ConcatProjected(const Tuple& suffix,
+                        const std::vector<int>& indices) const;
+
+  /// New tuple with one extra column appended (incremental hash).
   Tuple Append(Value v) const;
 
   /// New tuple with column `i` replaced.
@@ -47,6 +59,12 @@ class Tuple {
   static int Compare(const Tuple& a, const Tuple& b);
 
  private:
+  /// Trusted constructor for the derivation helpers above: `hash` must be
+  /// exactly what hashing `values` from scratch would produce.
+  Tuple(std::vector<Value> values, size_t hash)
+      : values_(std::make_shared<const std::vector<Value>>(std::move(values))),
+        hash_(hash) {}
+
   std::shared_ptr<const std::vector<Value>> values_;
   size_t hash_;
 };

@@ -6,6 +6,7 @@
 
 #include "baseline/baseline_evaluator.h"
 #include "engine/query_engine.h"
+#include "scoped_threads_env.h"
 #include "workload/random_graph.h"
 
 namespace pgivm {
@@ -65,11 +66,15 @@ TEST_P(DifferentialTest, ViewMatchesBaselineAfterEveryUpdate) {
 
 // ---- Randomized harness ----------------------------------------------------
 //
-// For several RNG seeds and both propagation strategies, drive a mixed
-// stream of single-change updates and BeginBatch/CommitBatch bursts through
-// a pool of standing views covering joins, anti-joins, aggregation,
-// DISTINCT, unnest and variable-length paths, and after *every* delta
-// assert each view's Snapshot() against a fresh EvaluateOnce().
+// For several RNG seeds × both propagation strategies × {1, 2, 8} wave
+// threads, drive a mixed stream of single-change updates and
+// BeginBatch/CommitBatch bursts through a pool of standing views covering
+// joins, anti-joins, aggregation, DISTINCT, unnest and variable-length
+// paths. A serial reference engine maintains the same views over the same
+// graph: after *every* delta each view's Snapshot() must be bit-identical
+// to the reference (the parallel determinism contract), and periodically
+// both are checked against a fresh EvaluateOnce() so the pair can't drift
+// together.
 
 const char* const kHarnessQueries[] = {
     "MATCH (a:A)-[r:R]->(b:B) RETURN a, r, b",
@@ -87,16 +92,21 @@ const char* const kHarnessQueries[] = {
 struct HarnessCase {
   uint64_t seed;
   PropagationStrategy strategy;
+  int threads;  // 1 = serial executor, otherwise kParallel with n threads
 };
 
 class RandomizedDifferentialTest
     : public ::testing::TestWithParam<HarnessCase> {};
 
-TEST_P(RandomizedDifferentialTest, AllViewsMatchEvaluateOnceAfterEveryDelta) {
+TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
   const HarnessCase& param = GetParam();
 
   EngineOptions options;
   options.network.propagation = param.strategy;
+  if (param.threads > 1) {
+    options.network.executor = ExecutorKind::kParallel;
+    options.network.num_threads = param.threads;
+  }
 
   PropertyGraph graph;
   RandomGraphConfig config;
@@ -104,12 +114,23 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchEvaluateOnceAfterEveryDelta) {
   RandomGraphGenerator generator(config);
   generator.Populate(&graph);
 
+  // Both engines are constructed with PGIVM_THREADS pinned away (the
+  // override is read at construction): the engine under test must really
+  // run the case's executor — an ambient PGIVM_THREADS=1 would silently
+  // turn the t2/t8 cases serial — and the reference must really be the
+  // serial baseline even under the TSAN job's PGIVM_THREADS=8.
+  ScopedThreadsEnv no_env(nullptr);
   QueryEngine engine(&graph, options);
+  QueryEngine reference_engine(&graph);
   std::vector<std::shared_ptr<View>> views;
+  std::vector<std::shared_ptr<View>> reference_views;
   for (const char* query : kHarnessQueries) {
     Result<std::shared_ptr<View>> view = engine.Register(query);
     ASSERT_TRUE(view.ok()) << query << ": " << view.status();
     views.push_back(*view);
+    Result<std::shared_ptr<View>> reference = reference_engine.Register(query);
+    ASSERT_TRUE(reference.ok()) << query << ": " << reference.status();
+    reference_views.push_back(*reference);
   }
 
   Rng control(param.seed * 7919 + 13);
@@ -125,13 +146,25 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchEvaluateOnceAfterEveryDelta) {
     } else {
       generator.ApplyRandomUpdate(&graph);
     }
+    const bool check_baseline = step % 8 == 7 || step == kDeltas - 1;
     for (size_t q = 0; q < views.size(); ++q) {
+      std::vector<Tuple> actual = views[q]->Snapshot();
+      std::vector<Tuple> reference = reference_views[q]->Snapshot();
+      ASSERT_EQ(actual.size(), reference.size())
+          << kHarnessQueries[q] << " diverged from serial at step " << step;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        ASSERT_EQ(Tuple::Compare(actual[i], reference[i]), 0)
+            << kHarnessQueries[q] << " step " << step << " row " << i
+            << ": " << actual[i].ToString() << " vs "
+            << reference[i].ToString();
+      }
+      if (!check_baseline) continue;
       Result<std::vector<Tuple>> expected =
           engine.EvaluateOnce(kHarnessQueries[q]);
       ASSERT_TRUE(expected.ok()) << expected.status();
-      std::vector<Tuple> actual = views[q]->Snapshot();
       ASSERT_EQ(actual.size(), expected.value().size())
-          << kHarnessQueries[q] << " diverged at step " << step;
+          << kHarnessQueries[q] << " diverged from baseline at step "
+          << step;
       for (size_t i = 0; i < actual.size(); ++i) {
         ASSERT_EQ(Tuple::Compare(actual[i], expected.value()[i]), 0)
             << kHarnessQueries[q] << " step " << step << " row " << i
@@ -145,8 +178,13 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchEvaluateOnceAfterEveryDelta) {
 std::vector<HarnessCase> HarnessCases() {
   std::vector<HarnessCase> cases;
   for (uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
-    cases.push_back({seed, PropagationStrategy::kEager});
-    cases.push_back({seed, PropagationStrategy::kBatched});
+    // The executor only applies to batched propagation (the eager cascade
+    // is inherently sequential), so sweeping threads under kEager would
+    // run the identical configuration three times.
+    cases.push_back({seed, PropagationStrategy::kEager, 1});
+    for (int threads : {1, 2, 8}) {
+      cases.push_back({seed, PropagationStrategy::kBatched, threads});
+    }
   }
   return cases;
 }
@@ -156,7 +194,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(HarnessCases()),
     [](const ::testing::TestParamInfo<HarnessCase>& info) {
       return "seed" + std::to_string(info.param.seed) + "_" +
-             PropagationStrategyName(info.param.strategy);
+             PropagationStrategyName(info.param.strategy) + "_t" +
+             std::to_string(info.param.threads);
     });
 
 INSTANTIATE_TEST_SUITE_P(

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/query_engine.h"
+#include "scoped_threads_env.h"
 #include "workload/social_network.h"
 
 namespace pgivm {
@@ -142,6 +143,87 @@ TEST(IntegrationStressTest, ViewsSurviveChurnOfEverything) {
             engine.EvaluateOnce("MATCH (p:Post)-[:REPLY*]->(c:Comm) "
                                 "RETURN p, c")
                 .value());
+}
+
+// The multi-view serving regime the parallel executor targets: the whole
+// portfolio shares one catalog network, every wave is fanned out over a
+// worker pool, and views keep registering/dropping mid-stream (scheduler
+// state is rebuilt around a live pool). Checkpoints are exact differential
+// verification, plus a serial twin engine that must stay bit-identical
+// after every delta.
+TEST(IntegrationStressTest, SharedCatalogStaysExactUnderParallelWaves) {
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 20;
+  config.seed = 4321;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  EngineOptions parallel_options;
+  parallel_options.network.executor = ExecutorKind::kParallel;
+  parallel_options.network.num_threads = 8;
+  // Both engines are constructed with PGIVM_THREADS pinned away (the
+  // override is read at construction), so this is a real parallel-8 vs
+  // serial comparison in every environment, including the TSAN job's
+  // PGIVM_THREADS=8 and a developer's PGIVM_THREADS=1.
+  std::unique_ptr<QueryEngine> engine_holder;
+  std::unique_ptr<QueryEngine> twin_holder;
+  {
+    ScopedThreadsEnv no_env(nullptr);
+    engine_holder = std::make_unique<QueryEngine>(&graph, parallel_options);
+    twin_holder = std::make_unique<QueryEngine>(&graph);
+  }
+  QueryEngine& engine = *engine_holder;
+  QueryEngine& twin = *twin_holder;
+
+  std::vector<std::string> queries = ViewPortfolio();
+  std::vector<std::shared_ptr<View>> views;
+  std::vector<std::shared_ptr<View>> twin_views;
+  for (const std::string& query : queries) {
+    views.push_back(engine.Register(query).value());
+    twin_views.push_back(twin.Register(query).value());
+  }
+  ASSERT_TRUE(engine.catalog().sharing());
+  ASSERT_NE(engine.catalog().shared_network(), nullptr);
+  EXPECT_EQ(engine.catalog().shared_network()->executor(),
+            ExecutorKind::kParallel);
+
+  Rng rng(31337);
+  std::vector<std::shared_ptr<View>> churn;
+  constexpr int kSteps = 250;
+  for (int step = 1; step <= kSteps; ++step) {
+    if (rng.NextBool(0.3)) {
+      graph.BeginBatch();
+      int burst = static_cast<int>(rng.NextInRange(2, 10));
+      for (int i = 0; i < burst; ++i) generator.ApplyRandomUpdate(&graph);
+      graph.CommitBatch();
+    } else {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    // Register/drop extra copies mid-stream: registration re-primes the
+    // live shared network (and recomputes wave levels) around the pool.
+    if (rng.NextBool(0.1)) {
+      const std::string& query = queries[rng.NextBelow(queries.size())];
+      auto view = engine.Register(query).value();
+      EXPECT_EQ(view->Snapshot(), engine.EvaluateOnce(query).value())
+          << query;
+      churn.push_back(std::move(view));
+    }
+    if (!churn.empty() && rng.NextBool(0.08)) {
+      churn.erase(churn.begin() +
+                  static_cast<ptrdiff_t>(rng.NextBelow(churn.size())));
+    }
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(views[q]->Snapshot(), twin_views[q]->Snapshot())
+          << queries[q] << " diverged from the serial twin at step " << step;
+    }
+    if (step % 50 != 0) continue;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(views[q]->Snapshot(), engine.EvaluateOnce(queries[q]).value())
+          << "view " << q << " (" << queries[q] << ") diverged at step "
+          << step;
+    }
+  }
 }
 
 TEST(IntegrationStressTest, RegisterAndDropViewsMidStream) {

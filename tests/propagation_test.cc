@@ -3,6 +3,7 @@
 // reach the production), per-(node, port) queue ordering across the binary
 // node types, and the Attach/Detach lifecycle guards.
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/query_engine.h"
+#include "scoped_threads_env.h"
 #include "rete/antijoin_node.h"
 #include "rete/distinct_node.h"
 #include "rete/join_node.h"
@@ -540,6 +542,294 @@ INSTANTIATE_TEST_SUITE_P(BothStrategies, PathBatchTest,
                            return std::string(
                                PropagationStrategyName(info.param));
                          });
+
+// ---- wave executor ---------------------------------------------------------
+
+TEST(WaveExecutor, OptionsThreadThroughTheEngineStack) {
+  ScopedThreadsEnv env(nullptr);  // isolate from the ambient environment
+  PropertyGraph graph;
+
+  QueryEngine serial_engine(&graph);
+  auto serial = serial_engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ((*serial)->executor(), ExecutorKind::kSerial);
+  EXPECT_EQ((*serial)->network().executor_parallelism(), 1);
+
+  EngineOptions options;
+  options.network.executor = ExecutorKind::kParallel;
+  options.network.num_threads = 3;
+  QueryEngine parallel_engine(&graph, options);
+  auto parallel = parallel_engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ((*parallel)->executor(), ExecutorKind::kParallel);
+  EXPECT_EQ((*parallel)->network().executor_parallelism(), 3);
+}
+
+TEST(WaveExecutor, EnvOverrideWinsOverProgrammaticConfiguration) {
+  PropertyGraph graph;
+  {
+    ScopedThreadsEnv env("4");
+    QueryEngine engine(&graph);  // default-serial options
+    auto view = engine.Register("MATCH (n:A) RETURN n");
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_EQ((*view)->executor(), ExecutorKind::kParallel);
+    EXPECT_EQ((*view)->network().executor_parallelism(), 4);
+  }
+  {
+    ScopedThreadsEnv env("1");
+    EngineOptions options;
+    options.network.executor = ExecutorKind::kParallel;
+    options.network.num_threads = 8;
+    QueryEngine engine(&graph, options);
+    auto view = engine.Register("MATCH (n:A) RETURN n");
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_EQ((*view)->executor(), ExecutorKind::kSerial);
+  }
+  {
+    ScopedThreadsEnv env("not-a-number");
+    QueryEngine engine(&graph);
+    auto view = engine.Register("MATCH (n:A) RETURN n");
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_EQ((*view)->executor(), ExecutorKind::kSerial);  // ignored
+  }
+}
+
+/// Drives identical random update streams through a serial and a parallel
+/// engine over the same graph and requires bit-identical snapshots after
+/// every delta — the wave barrier's determinism contract, at the unit
+/// level (the differential harness covers the full query pool).
+TEST(WaveExecutor, ParallelWavesAreBitIdenticalToSerial) {
+  const std::vector<std::string> queries = {
+      "MATCH (a:A)-[r:R]->(b:B) RETURN a, r, b",
+      "MATCH (a:A)-[:R]->(b)-[:S]->(c) RETURN a, b, c",
+      "MATCH (a:A)-[:R]->(b) RETURN b AS t, count(*) AS c, sum(a.x) AS s",
+      "MATCH (a:A) WHERE NOT exists((a)-[:S]->()) RETURN a",
+      "MATCH (a:A)-[:R*1..3]->(b) RETURN a, b",
+  };
+
+  ScopedThreadsEnv env(nullptr);
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.seed = 4242;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+
+  EngineOptions parallel_options;
+  parallel_options.network.executor = ExecutorKind::kParallel;
+  parallel_options.network.num_threads = 4;
+  QueryEngine serial_engine(&graph);
+  QueryEngine parallel_engine(&graph, parallel_options);
+  std::vector<std::shared_ptr<View>> serial_views;
+  std::vector<std::shared_ptr<View>> parallel_views;
+  // One listener object shared by all of an engine's views: under the
+  // parallel executor notifications are deferred to the wave barrier, so
+  // even a shared (thread-unsafe) listener is safe and sees exactly the
+  // serial executor's call sequence.
+  RecordingListener serial_listener;
+  RecordingListener parallel_listener;
+  for (const std::string& query : queries) {
+    auto serial = serial_engine.Register(query);
+    ASSERT_TRUE(serial.ok()) << query << ": " << serial.status();
+    (*serial)->AddListener(&serial_listener);
+    serial_views.push_back(*serial);
+    auto parallel = parallel_engine.Register(query);
+    ASSERT_TRUE(parallel.ok()) << query << ": " << parallel.status();
+    (*parallel)->AddListener(&parallel_listener);
+    parallel_views.push_back(*parallel);
+  }
+
+  for (int step = 0; step < 50; ++step) {
+    if (step % 2 == 0) {
+      graph.BeginBatch();
+      for (int i = 0; i < 6; ++i) generator.ApplyRandomUpdate(&graph);
+      graph.CommitBatch();
+    } else {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(serial_views[q]->Snapshot(), parallel_views[q]->Snapshot())
+          << queries[q] << " diverged at step " << step;
+    }
+  }
+
+  // Consolidated emission counts are part of the determinism contract too:
+  // the barrier merge must not change what is delivered, only when.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(serial_views[q]->network().TotalEmittedEntries(),
+              parallel_views[q]->network().TotalEmittedEntries())
+        << queries[q];
+  }
+  // And so are listener notifications (same calls, same total entries).
+  EXPECT_EQ(parallel_listener.calls, serial_listener.calls);
+  EXPECT_EQ(parallel_listener.entries, serial_listener.entries);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    serial_views[q]->RemoveListener(&serial_listener);
+    parallel_views[q]->RemoveListener(&parallel_listener);
+  }
+}
+
+// A sink-less foreign hop wired between owned nodes must keep working when
+// the owned part of the wave runs on the pool: foreign nodes are deferred
+// to the (serial) barrier phase.
+TEST(WaveExecutor, ForeignPassThroughSurvivesParallelWaves) {
+  class PassThrough : public ReteNode {
+   public:
+    explicit PassThrough(Schema schema) : ReteNode(std::move(schema)) {}
+    void OnDelta(int port, const Delta& delta) override {
+      (void)port;
+      Emit(delta);
+    }
+    std::string DebugString() const override { return "PassThrough"; }
+  };
+
+  PropertyGraph graph;
+  Schema vs = BinaryFixture::VSchema();
+  ReteNetwork network;
+  auto* source_a = network.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"A"},
+      std::vector<PropertyExtract>{}));
+  network.RegisterSource(source_a);
+  auto* source_b = network.Add(std::make_unique<VertexInputNode>(
+      vs, &graph, std::vector<std::string>{"B"},
+      std::vector<PropertyExtract>{}));
+  network.RegisterSource(source_b);
+  auto* join = network.Add(std::make_unique<JoinNode>(vs, vs, vs));
+  source_b->AddOutput(join, 1);
+  auto* production = network.Add(std::make_unique<ProductionNode>(vs));
+  join->AddOutput(production, 0);
+  network.SetProduction(production);
+
+  PassThrough probe(vs);  // not owned, no emit sink
+  source_a->AddOutput(&probe, 0);
+  probe.AddOutput(join, 0);
+
+  network.set_executor(ExecutorKind::kParallel, 4);
+  network.Attach(&graph);
+  EXPECT_GT(network.node_level(join), network.node_level(&probe));
+
+  // The natural-join key is the vertex itself, so each dual-labelled
+  // vertex joins exactly itself: i rows after i deltas. A deferred-foreign
+  // bug would leave the join a transaction behind (port 0 arrives through
+  // the probe's eager cascade).
+  for (int i = 1; i <= 4; ++i) {
+    graph.BeginBatch();
+    graph.AddVertex({"A", "B"});
+    graph.CommitBatch();
+    ASSERT_EQ(production->results().total_count(), i)
+        << "join ran behind after delta " << i;
+  }
+}
+
+// ---- consolidation cutoff --------------------------------------------------
+
+TEST(ConsolidationCutoff, SmallPathMatchesSortPathExactly) {
+  // Mixed-sign payloads over a small tuple pool, every size around the
+  // cutoff: the fast path must produce byte-identical canonical output
+  // (same entries, same order) as the sort path.
+  std::vector<Tuple> pool;
+  for (int64_t i = 0; i < 4; ++i) {
+    pool.push_back(Tuple({Value::Int(i), Value::String("p")}));
+  }
+  uint64_t lcg = 12345;
+  auto next = [&lcg](uint64_t bound) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (lcg >> 33) % bound;
+  };
+  for (size_t size = 0; size <= 6; ++size) {
+    for (int round = 0; round < 50; ++round) {
+      Delta original;
+      for (size_t i = 0; i < size; ++i) {
+        int64_t multiplicity = static_cast<int64_t>(next(5)) - 2;
+        original.push_back({pool[next(pool.size())], multiplicity});
+      }
+      Delta sorted = original;
+      Consolidate(sorted, /*small_cutoff=*/0);
+      for (size_t cutoff : {size_t{1}, size_t{2}, size_t{6}, size_t{64}}) {
+        Delta fast = original;
+        Consolidate(fast, cutoff);
+        ASSERT_TRUE(IsConsolidated(fast))
+            << "size=" << size << " cutoff=" << cutoff;
+        ASSERT_EQ(fast.size(), sorted.size())
+            << "size=" << size << " cutoff=" << cutoff;
+        for (size_t i = 0; i < fast.size(); ++i) {
+          ASSERT_EQ(Tuple::Compare(fast[i].tuple, sorted[i].tuple), 0);
+          ASSERT_EQ(fast[i].multiplicity, sorted[i].multiplicity);
+        }
+      }
+    }
+  }
+}
+
+TEST(ConsolidationCutoff, EqualRepresentationsMergeToFirstArrivalOnBothPaths) {
+  // Int(1) and Double(1.0) compare (and hash) equal, so they merge into
+  // one entry — and *which representation survives* must not depend on
+  // the consolidation path, or the cutoff would change stored view rows.
+  // Both paths keep the first arrival.
+  const Tuple as_double({Value::Double(1.0)});
+  const Tuple as_int({Value::Int(1)});
+  for (bool double_first : {true, false}) {
+    Delta original{{double_first ? as_double : as_int, 1},
+                   {double_first ? as_int : as_double, 1}};
+    for (size_t cutoff : {size_t{0}, size_t{2}}) {
+      Delta delta = original;
+      Consolidate(delta, cutoff);
+      ASSERT_EQ(delta.size(), 1u);
+      EXPECT_EQ(delta[0].multiplicity, 2);
+      EXPECT_EQ(delta[0].tuple.at(0).is_double(), double_first)
+          << "cutoff=" << cutoff << " double_first=" << double_first;
+    }
+  }
+}
+
+TEST(ConsolidationCutoff, DefaultSkipsSortForTinyPayloadsOnly) {
+  EXPECT_EQ(NetworkOptions{}.consolidation_cutoff,
+            kDefaultConsolidationCutoff);
+  EXPECT_EQ(kDefaultConsolidationCutoff, 2u);
+}
+
+TEST(ConsolidationCutoff, ThresholdIsAPurePerformanceKnob) {
+  // The same random stream under cutoff 0 (always sort), the default, and
+  // an absurdly large cutoff (always pairwise) maintains identical views
+  // and identical propagation volume.
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.seed = 99;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+
+  auto with_cutoff = [](size_t cutoff) {
+    EngineOptions options;
+    options.network.consolidation_cutoff = cutoff;
+    return options;
+  };
+  QueryEngine sort_engine(&graph, with_cutoff(0));
+  QueryEngine default_engine(&graph);
+  QueryEngine pairwise_engine(&graph, with_cutoff(1 << 20));
+
+  const char* query = "MATCH (a:A)-[:R]->(b) RETURN b, count(*) AS c";
+  auto sorted = sort_engine.Register(query);
+  auto defaulted = default_engine.Register(query);
+  auto pairwise = pairwise_engine.Register(query);
+  ASSERT_TRUE(sorted.ok() && defaulted.ok() && pairwise.ok());
+
+  for (int step = 0; step < 60; ++step) {
+    if (step % 4 == 0) {
+      graph.BeginBatch();
+      for (int i = 0; i < 3; ++i) generator.ApplyRandomUpdate(&graph);
+      graph.CommitBatch();
+    } else {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    ASSERT_EQ((*sorted)->Snapshot(), (*defaulted)->Snapshot())
+        << "step " << step;
+    ASSERT_EQ((*sorted)->Snapshot(), (*pairwise)->Snapshot())
+        << "step " << step;
+  }
+  EXPECT_EQ((*sorted)->network().TotalEmittedEntries(),
+            (*defaulted)->network().TotalEmittedEntries());
+  EXPECT_EQ((*sorted)->network().TotalEmittedEntries(),
+            (*pairwise)->network().TotalEmittedEntries());
+}
 
 // ---- Attach/Detach lifecycle -----------------------------------------------
 
