@@ -220,6 +220,78 @@ BENCHMARK(BM_E3_CatalogSharingSweep)
     ->UseRealTime()
     ->Iterations(20);
 
+// ---- registration latency into a live catalog ------------------------------
+//
+// The MV4PG concern: how long does Register() take once the catalog is
+// already serving? range(0) standing views are registered and churned
+// first; each timed iteration then registers one more view — a full
+// structural duplicate of an existing one, the dashboard-clone case — and
+// drops it again (untimed). range(1) toggles operator-state sharing and
+// range(2) incremental priming (memory replay; ignored when unshared).
+//
+// Expected shape: shared+replay registration latency is flat in catalog
+// size (replay work ∝ the new view's result size; `replayed` counter) and
+// reads nothing from the graph (`graph_primed` = 0); shared+re-prime and
+// unshared registration grow with catalog/graph size. BENCH_bench_e3_
+// register.json tracks the three curves per PR.
+
+void BM_E3_RegisterIntoLiveCatalog(benchmark::State& state) {
+  int64_t catalog_size = state.range(0);
+  bool shared = state.range(1) == 1;
+  bool incremental = state.range(2) == 1;
+
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 60;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  EngineOptions options;
+  options.catalog.share_operator_state = shared;
+  options.catalog.incremental_priming = incremental;
+  QueryEngine engine(&graph, options);
+  std::vector<std::shared_ptr<View>> views;
+  std::vector<std::string> catalog = StandingQueries();
+  for (int64_t i = 0; i < catalog_size; ++i) {
+    views.push_back(
+        engine.Register(catalog[static_cast<size_t>(i) % catalog.size()])
+            .value());
+  }
+  // Warm the catalog: registration must splice into live, churned state.
+  for (int i = 0; i < 64; ++i) generator.ApplyRandomUpdate(&graph);
+
+  // A structural duplicate of the first standing query (fully shared under
+  // sharing; rebuilt from the graph otherwise).
+  const std::string newcomer = catalog[0];
+  int64_t replayed = 0;
+  int64_t graph_primed = 0;
+  for (auto _ : state) {
+    auto view = engine.Register(newcomer).value();
+    state.PauseTiming();
+    replayed += engine.catalog().last_prime_stats().replayed_entries;
+    graph_primed += engine.catalog().last_prime_stats().graph_primed_entries;
+    view.reset();  // keep the catalog at range(0) views for every iteration
+    state.ResumeTiming();
+  }
+
+  CatalogStats stats = engine.catalog().Stats();
+  state.counters["views"] = static_cast<double>(catalog_size);
+  state.counters["nodes"] = static_cast<double>(stats.total_nodes);
+  state.counters["replayed"] =
+      benchmark::Counter(static_cast<double>(replayed),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["graph_primed"] =
+      benchmark::Counter(static_cast<double>(graph_primed),
+                         benchmark::Counter::kAvgIterations);
+  state.SetLabel(std::string(shared ? "shared" : "unshared") +
+                 (shared ? (incremental ? "/replay" : "/reprime") : ""));
+}
+BENCHMARK(BM_E3_RegisterIntoLiveCatalog)
+    // Catalog size sweep × {unshared, shared+full-reprime, shared+replay}.
+    ->ArgsProduct({{1, 4, 8, 16}, {0}, {1}})
+    ->ArgsProduct({{1, 4, 8, 16}, {1}, {0, 1}})
+    ->Iterations(50);
+
 }  // namespace
 }  // namespace pgivm
 

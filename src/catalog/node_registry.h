@@ -32,6 +32,18 @@ std::string CanonicalPlanKey(const LogicalOp& op);
 /// transitive upstream node): a view reusing the root must take a reference
 /// on the whole sub-network, or tearing down the first owner would free
 /// nodes the reuser still depends on.
+///
+/// A Lookup hit is also the incremental-priming partition point: the hit's
+/// nodes are live and primed (their memories replay into the new view's
+/// consumers), while misses are built fresh and primed from the graph.
+///
+/// Thread-safety: none — mutated only from the catalog's registration/
+/// teardown path, which runs on the engine-owning thread.
+///
+/// Lifecycle: entries never outlive their nodes. RemoveNodes must be
+/// called whenever refcount-zero roots are destroyed; Clear() drops all
+/// entries (when the last view tears the shared network down) but keeps
+/// the lifetime hit/miss counters for CatalogStats.
 class NodeRegistry {
  public:
   struct Entry {

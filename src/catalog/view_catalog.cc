@@ -2,10 +2,32 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "support/string_util.h"
 
 namespace pgivm {
+
+namespace {
+
+/// Runs `attach` (a full Attach-based prime of `network`) and reports it in
+/// PrimeStats terms: every primed tuple came from the graph, none from
+/// replay. Used for the first registration, the incremental_priming=false
+/// ablation, and private (unshared) networks.
+template <typename AttachFn>
+ReteNetwork::PrimeStats MeasureFullPrime(const ReteNetwork& network,
+                                         size_t fresh_nodes,
+                                         AttachFn&& attach) {
+  ReteNetwork::PrimeStats stats;
+  stats.fresh_nodes = fresh_nodes;
+  int64_t before = network.SourceEmittedEntries();
+  attach();
+  stats.graph_primed_entries = network.SourceEmittedEntries() - before;
+  stats.primed_sources = network.source_count();
+  return stats;
+}
+
+}  // namespace
 
 std::string CatalogStats::ToString() const {
   std::ostringstream os;
@@ -13,7 +35,8 @@ std::string CatalogStats::ToString() const {
      << " shared=" << shared_nodes << " (" << static_cast<int>(
             SharingRatio() * 100.0 + 0.5)
      << "%) registry hits=" << registry_hits << " misses=" << registry_misses
-     << " mem=" << memory_bytes << "B";
+     << " mem=" << memory_bytes << "B primed replay=" << replayed_entries
+     << "/graph=" << graph_primed_entries;
   return os.str();
 }
 
@@ -42,6 +65,7 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
   view->limit_ = limit;
 
   if (options_.share_operator_state) {
+    const bool live = network_ != nullptr && network_->attached();
     if (network_ == nullptr) {
       network_ = std::make_unique<ReteNetwork>();
       network_->set_propagation(network_options_.propagation);
@@ -49,6 +73,7 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
                              network_options_.num_threads);
       network_->set_consolidation_cutoff(
           network_options_.consolidation_cutoff);
+      network_->set_thread_pool(EnginePool());
     }
     Result<BuiltView> built = BuildViewInto(network_.get(), view->fra_,
                                             graph_, network_options_,
@@ -67,17 +92,48 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
     view->network_ = network_.get();
     view->production_ = entries_.back().production;
 
-    // Prime the new sub-network with the current graph content. A reused
-    // interior node cannot replay its memories into a fresh consumer yet
-    // (ROADMAP follow-up: incremental priming), so the whole network
-    // re-primes: every memory is rebuilt to the identical state and
-    // listener fan-out stays silent throughout.
-    network_->Detach();
-    network_->Attach(graph_);
+    if (live && options_.incremental_priming) {
+      // Incremental priming: the registry partitioned the plan into hits
+      // (live nodes, already primed by sibling views) and misses (the
+      // `created` nodes, empty). Each reused node that gained a consumer
+      // replays its materialized memory into just that consumer; only the
+      // genuinely new sub-plans read the graph, through their own fresh
+      // source nodes. Work is proportional to the new view's own state —
+      // the rest of the catalog is neither re-primed nor even visited.
+      std::unordered_set<const ReteNode*> fresh(built->created.begin(),
+                                                built->created.end());
+      std::vector<ReteNetwork::ReplayEdge> replays;
+      for (ReteNode* node : entries_.back().nodes) {
+        if (fresh.count(node) > 0) continue;  // registry miss: built now
+        for (const auto& [down, port] : node->outputs()) {
+          // Any reused → fresh subscription was wired by this
+          // registration (the consumer did not exist before it).
+          if (fresh.count(down) > 0) replays.push_back({node, down, port});
+        }
+      }
+      last_prime_ = network_->PrimeNewNodes(built->created, replays,
+                                            entries_.back().nodes);
+    } else if (live) {
+      // Ablation baseline (incremental_priming = false): the PR-2 full
+      // re-prime — every memory in the shared network is rebuilt from the
+      // graph, O(catalog) per registration, listeners suppressed by
+      // Attach.
+      last_prime_ =
+          MeasureFullPrime(*network_, built->created.size(), [this] {
+            network_->Detach();
+            network_->Attach(graph_);
+          });
+    } else {
+      // First registration: the network attaches and primes as a whole.
+      last_prime_ =
+          MeasureFullPrime(*network_, built->created.size(),
+                           [this] { network_->Attach(graph_); });
+    }
   } else {
     PGIVM_ASSIGN_OR_RETURN(
         std::unique_ptr<ReteNetwork> network,
         BuildNetwork(view->fra_, graph_, network_options_));
+    network->set_thread_pool(EnginePool());
 
     Entry entry;
     entry.view = view.get();
@@ -89,9 +145,30 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
     view->network_ = network.get();
     view->production_ = network->production();
     view->owned_network_ = std::move(network);
-    view->owned_network_->Attach(graph_);
+
+    // Private network: every node is fresh and graph-primed.
+    last_prime_ = MeasureFullPrime(
+        *view->owned_network_, view->owned_network_->node_count(),
+        [&] { view->owned_network_->Attach(graph_); });
   }
+  replayed_entries_ += last_prime_.replayed_entries;
+  graph_primed_entries_ += last_prime_.graph_primed_entries;
+  view->prime_stats_ = last_prime_;
   return view;
+}
+
+std::shared_ptr<ThreadPool> ViewCatalog::EnginePool() {
+  if (pool_ != nullptr) return pool_;
+  // The executor only applies to batched wave scheduling; a serial (or
+  // single-thread-resolved) configuration never needs workers.
+  if (network_options_.propagation != PropagationStrategy::kBatched ||
+      network_options_.executor != ExecutorKind::kParallel) {
+    return nullptr;
+  }
+  int threads = ThreadPool::ResolveThreadCount(network_options_.num_threads);
+  if (threads <= 1) return nullptr;
+  pool_ = std::make_shared<ThreadPool>(threads);
+  return pool_;
 }
 
 void ViewCatalog::Deregister(View* view) {
@@ -136,6 +213,8 @@ CatalogStats ViewCatalog::Stats() const {
   stats.views = entries_.size();
   stats.registry_hits = registry_.hits();
   stats.registry_misses = registry_.misses();
+  stats.replayed_entries = replayed_entries_;
+  stats.graph_primed_entries = graph_primed_entries_;
   if (options_.share_operator_state) {
     if (network_ != nullptr) {
       stats.total_nodes = network_->node_count();

@@ -12,6 +12,7 @@
 #include "graph/property_graph.h"
 #include "rete/network_builder.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 
 namespace pgivm {
 
@@ -22,6 +23,16 @@ struct CatalogOptions {
   /// private network per view — kept as the ablation baseline for the
   /// sharing experiments (E3).
   bool share_operator_state = true;
+
+  /// Prime registrations into a live shared network incrementally: reused
+  /// nodes replay their materialized memories into just the newly attached
+  /// consumers and only registry-miss sub-plans read the graph, so
+  /// registration cost is proportional to the new view's own state — never
+  /// to the catalog size. Off = the PR-2 behaviour (Detach + Attach, the
+  /// whole shared network re-primed from the graph on every Register),
+  /// kept as the ablation baseline for BM_E3_RegisterIntoLiveCatalog.
+  /// Results are bit-identical either way (differential-harness checked).
+  bool incremental_priming = true;
 };
 
 /// Aggregate health of a catalog: how many nodes the registered views
@@ -34,6 +45,12 @@ struct CatalogStats {
   int64_t registry_hits = 0;    // lifetime sub-plan reuses
   int64_t registry_misses = 0;  // lifetime sub-plan constructions
   size_t memory_bytes = 0;      // node memories, each node counted once
+  /// Lifetime priming volume split by origin: tuples delivered by memory
+  /// replay from reused nodes vs. tuples emitted by fresh source nodes
+  /// reading the graph. A catalog whose registrations fully share keeps
+  /// `graph_primed_entries` at the cost of the *first* registration only.
+  int64_t replayed_entries = 0;
+  int64_t graph_primed_entries = 0;
 
   double SharingRatio() const {
     return total_nodes == 0
@@ -55,10 +72,20 @@ struct CatalogStats {
 /// deregistration refcounts node usage — tearing down a view frees exactly
 /// the nodes no sibling references, never disturbing survivors' memories.
 ///
-/// Registering into a live catalog re-primes the shared network (a reused
-/// interior node cannot yet replay its memory into a new consumer — see the
-/// ROADMAP follow-up); listener fan-out is suppressed during the re-prime,
-/// so observers of existing views see no spurious deltas.
+/// Registering into a live catalog primes incrementally (see
+/// CatalogOptions::incremental_priming): the registry partitions the new
+/// plan into hits — live nodes that replay their materialized memories into
+/// just the newly attached consumers — and misses, which are built fresh
+/// and primed from the graph through their own source nodes. Existing
+/// views' memories, pending deltas and listeners are untouched; listener
+/// fan-out is suppressed while the new sub-network catches up, so
+/// observers of existing views see no spurious deltas. `last_prime_stats`
+/// reports the replayed-vs-graph-primed split of the most recent Install.
+///
+/// Thread-safety: none — the catalog mutates under Register/Deregister and
+/// must be driven from the thread that owns the engine and applies graph
+/// deltas (the wave executor parallelizes *inside* a propagation drain,
+/// never across API calls).
 ///
 /// Lifetime: the catalog is shared between its QueryEngine and every View
 /// handed out, so views stay valid after the engine is destroyed. The graph
@@ -82,8 +109,18 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
 
   CatalogStats Stats() const;
 
+  /// Priming accounting of the most recent Install: how many tuples the
+  /// new view received by memory replay vs. from fresh source nodes
+  /// reading the graph (plus the fresh-node / replay-edge partition
+  /// sizes). The first registration and every unshared or
+  /// full-re-prime registration report zero replayed entries.
+  const ReteNetwork::PrimeStats& last_prime_stats() const {
+    return last_prime_;
+  }
+
   size_t view_count() const { return entries_.size(); }
   bool sharing() const { return options_.share_operator_state; }
+  bool incremental_priming() const { return options_.incremental_priming; }
 
   /// Bytes held by the node memories `view` references. Shared nodes are
   /// counted in full for every referencing view; see Stats().memory_bytes
@@ -120,6 +157,12 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
 
   void Deregister(View* view);
 
+  /// The engine-wide worker pool, created on first use when the resolved
+  /// executor is parallel and lent to every network this catalog builds
+  /// (shared or per-view) — sibling networks never drain concurrently, so
+  /// one pool serves the whole engine. Null under the serial executor.
+  std::shared_ptr<ThreadPool> EnginePool();
+
   PropertyGraph* graph_;
   NetworkOptions network_options_;
   CatalogOptions options_;
@@ -127,6 +170,10 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
   NodeRegistry registry_;
   std::vector<Entry> entries_;
   std::unordered_map<ReteNode*, int> refcounts_;
+  std::shared_ptr<ThreadPool> pool_;
+  ReteNetwork::PrimeStats last_prime_;
+  int64_t replayed_entries_ = 0;      // lifetime, across Installs
+  int64_t graph_primed_entries_ = 0;  // lifetime, across Installs
 };
 
 }  // namespace pgivm

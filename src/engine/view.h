@@ -24,12 +24,27 @@ class ViewCatalog;
 /// Destroying the view deregisters it — shared nodes survive as long as a
 /// sibling still references them.
 ///
+/// Registration into a live catalog is primed incrementally: node memories
+/// the new view shares are replayed into its consumers instead of
+/// re-reading the graph — prime_stats() reports the split. Sibling views
+/// and their listeners observe nothing.
+///
 /// Ordering note (the paper's ORD restriction): the maintained result is a
 /// bag — no order is maintained. Snapshot() sorts rows only for
 /// presentation/determinism and applies the query's SKIP/LIMIT at that
 /// moment; the sorted rows are cached and reused until the production
 /// signals a change (its version counter moves), so polling an unchanged
 /// view is O(copy), not O(n log n).
+///
+/// Thread-safety: read the view from the thread that applies graph deltas
+/// (reads between deltas see a consistent, current bag; nothing locks).
+/// Listener callbacks run on that same thread — during parallel waves
+/// they are deferred to the wave barrier, never concurrent.
+///
+/// Lifecycle: destroying the View deregisters it from the catalog
+/// (refcounted under sharing). The View keeps its catalog — and with it
+/// the shared network — alive past engine destruction; only the graph
+/// must outlive everything.
 class View {
  public:
   ~View();
@@ -78,6 +93,14 @@ class View {
   /// MarginalMemoryBytes() isolates this view's exclusive slice.
   size_t ApproxMemoryBytes() const;
 
+  /// How this view's registration was primed: tuples replayed from
+  /// sibling-primed node memories vs. tuples read from the graph by fresh
+  /// source nodes, plus the fresh-node/replay-edge partition. A fully
+  /// shared registration into a live catalog reports
+  /// `graph_primed_entries == 0` — its cost is independent of both the
+  /// graph and the catalog size.
+  const ReteNetwork::PrimeStats& prime_stats() const { return prime_stats_; }
+
   /// Per-node diagnostics of the underlying network (under sharing: the
   /// whole catalog network this view lives in).
   std::string NetworkDebugString() const { return network_->DebugString(); }
@@ -105,6 +128,8 @@ class View {
   std::vector<std::string> columns_;
   int64_t skip_ = 0;
   int64_t limit_ = -1;
+  /// Replayed-vs-graph-primed accounting of this view's registration.
+  ReteNetwork::PrimeStats prime_stats_;
 
   /// Snapshot() cache, valid while the production's version is unchanged.
   mutable std::vector<Tuple> snapshot_cache_;

@@ -204,6 +204,21 @@ void AggregateNode::OnDelta(int port, const Delta& delta) {
   Emit(std::move(out));
 }
 
+bool AggregateNode::ReplayOutput(Delta& out) const {
+  for (const auto& [key, group] : groups_) {
+    if (group.total_rows <= 0 && !keys_.empty()) continue;
+    out.push_back({RenderRow(key, group), 1});
+  }
+  // A key-less aggregation that was never attached (EmitInitial pending)
+  // has no group yet; its current output is still the empty-input row.
+  if (keys_.empty() && groups_.empty()) {
+    GroupState empty;
+    empty.aggs.resize(aggregates_.size());
+    out.push_back({RenderRow(Tuple(), empty), 1});
+  }
+  return true;
+}
+
 size_t AggregateNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [key, group] : groups_) {

@@ -45,6 +45,10 @@ class AggregateNode : public ReteNode {
   /// the network before any input delta.
   void EmitInitial() override;
 
+  /// Replays the rendered row of every live group (a key-less aggregation
+  /// always has exactly one, even over empty input).
+  bool ReplayOutput(Delta& out) const override;
+
   void Reset() override { groups_.clear(); }
 
   size_t ApproxMemoryBytes() const override;

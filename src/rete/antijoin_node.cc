@@ -43,6 +43,17 @@ void AntiJoinNode::OnDelta(int port, const Delta& delta) {
   Emit(std::move(out));
 }
 
+bool AntiJoinNode::ReplayOutput(Delta& out) const {
+  for (const auto& [key, bag] : left_memory_) {
+    auto it = right_support_.find(key);
+    if (it != right_support_.end() && it->second > 0) continue;
+    for (const auto& [left_tuple, count] : bag.counts()) {
+      out.push_back({left_tuple, count});
+    }
+  }
+  return true;
+}
+
 size_t AntiJoinNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [key, bag] : left_memory_) {

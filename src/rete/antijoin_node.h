@@ -22,6 +22,10 @@ class AntiJoinNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  /// Replays the currently unmatched left tuples (keys with zero right
+  /// support).
+  bool ReplayOutput(Delta& out) const override;
+
   void Reset() override {
     left_memory_.clear();
     right_support_.clear();

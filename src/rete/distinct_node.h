@@ -15,6 +15,16 @@ class DistinctNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  /// Replays each supported tuple exactly once (set semantics).
+  bool ReplayOutput(Delta& out) const override {
+    out.reserve(out.size() + support_.distinct_size());
+    for (const auto& [tuple, count] : support_.counts()) {
+      (void)count;
+      out.push_back({tuple, 1});
+    }
+    return true;
+  }
+
   void Reset() override { support_.Clear(); }
 
   size_t ApproxMemoryBytes() const override {

@@ -185,6 +185,15 @@ void VertexInputNode::EmitInitialFromGraph() {
   Emit(std::move(delta));
 }
 
+bool VertexInputNode::ReplayOutput(Delta& out) const {
+  out.reserve(out.size() + asserted_.size());
+  for (const auto& [v, tuple] : asserted_) {
+    (void)v;
+    out.push_back({tuple, 1});
+  }
+  return true;
+}
+
 size_t VertexInputNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [v, tuple] : asserted_) {
@@ -402,6 +411,14 @@ void EdgeInputNode::EmitInitialFromGraph() {
     graph_->ForEachEdge(consider);
   }
   Emit(std::move(delta));
+}
+
+bool EdgeInputNode::ReplayOutput(Delta& out) const {
+  for (const auto& [e, tuples] : asserted_) {
+    (void)e;
+    for (const Tuple& tuple : tuples) out.push_back({tuple, 1});
+  }
+  return true;
 }
 
 size_t EdgeInputNode::ApproxMemoryBytes() const {

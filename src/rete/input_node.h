@@ -42,6 +42,9 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
   void HandleChange(const GraphChange& change) override;
   void EmitInitialFromGraph() override;
 
+  /// Replays the asserted tuple of every live matching vertex.
+  bool ReplayOutput(Delta& out) const override;
+
   void Reset() override { asserted_.clear(); }
 
   size_t ApproxMemoryBytes() const override;
@@ -76,6 +79,9 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
   void OnDelta(int port, const Delta& delta) override;
   void HandleChange(const GraphChange& change) override;
   void EmitInitialFromGraph() override;
+
+  /// Replays the asserted orientation tuples of every live matching edge.
+  bool ReplayOutput(Delta& out) const override;
 
   void Reset() override { asserted_.clear(); }
 
@@ -117,6 +123,12 @@ class UnitInputNode : public ReteNode, public GraphSourceNode {
   void OnDelta(int port, const Delta& delta) override;
   void HandleChange(const GraphChange& /*change*/) override {}
   void EmitInitialFromGraph() override { Emit({{Tuple(), 1}}); }
+
+  /// The Unit relation's content is constant: the single empty tuple.
+  bool ReplayOutput(Delta& out) const override {
+    out.push_back({Tuple(), 1});
+    return true;
+  }
 
   std::string DebugString() const override { return "Unit"; }
 };

@@ -61,6 +61,20 @@ void JoinNode::OnDelta(int port, const Delta& delta) {
   Emit(std::move(out));
 }
 
+bool JoinNode::ReplayOutput(Delta& out) const {
+  for (const auto& [key, left_bag] : left_memory_) {
+    auto it = right_memory_.find(key);
+    if (it == right_memory_.end()) continue;
+    for (const auto& [left_tuple, left_count] : left_bag.counts()) {
+      for (const auto& [right_tuple, right_count] : it->second.counts()) {
+        out.push_back({Combine(left_tuple, right_tuple),
+                       left_count * right_count});
+      }
+    }
+  }
+  return true;
+}
+
 size_t JoinNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [key, bag] : left_memory_) {

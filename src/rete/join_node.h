@@ -29,6 +29,11 @@ class JoinNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  /// Replays L ⋈ R by probing the two memories — one output entry per
+  /// matching (left, right) pair, so replay work is proportional to the
+  /// join's current result size, not to its input sizes.
+  bool ReplayOutput(Delta& out) const override;
+
   void Reset() override {
     left_memory_.clear();
     right_memory_.clear();

@@ -52,6 +52,12 @@ void ReteNetwork::set_executor(ExecutorKind kind, int num_threads) {
   executor_threads_ = num_threads;
 }
 
+void ReteNetwork::set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+  assert(attached_graph_ == nullptr && "lend the pool before Attach");
+  if (attached_graph_ != nullptr) return;
+  shared_pool_ = std::move(pool);
+}
+
 void ReteNetwork::Attach(PropertyGraph* graph) {
   assert(graph != nullptr);
   if (graph == nullptr) return;
@@ -81,11 +87,20 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   // of 1 keeps the serial fast path (no pool, no dispatch).
   if (batched && executor_ == ExecutorKind::kParallel) {
     int threads = ThreadPool::ResolveThreadCount(executor_threads_);
-    if (threads > 1 &&
-        (pool_ == nullptr || pool_->parallelism() != threads)) {
-      pool_ = std::make_unique<ThreadPool>(threads);
+    if (threads > 1) {
+      if (shared_pool_ != nullptr) {
+        // The engine-wide pool (one per catalog, shared by every network
+        // of the engine — sibling networks never drain concurrently, so
+        // one pool serves them all).
+        assert(shared_pool_->parallelism() == threads &&
+               "lent pool sized differently from the resolved executor");
+        pool_ = shared_pool_;
+      } else if (pool_ == nullptr || pool_->parallelism() != threads) {
+        pool_ = std::make_shared<ThreadPool>(threads);
+      }
+    } else {
+      pool_.reset();
     }
-    if (threads <= 1) pool_.reset();
   } else {
     pool_.reset();
   }
@@ -112,8 +127,9 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   // Priming replays the whole graph content; it rebuilds every production
   // to its correct rows but is not an observable *change*, so listener
   // fan-out is silenced for the duration (results and chained emissions
-  // are unaffected). This matters for catalog networks, where registering
-  // one more view re-primes the views already being observed.
+  // are unaffected). This matters for catalog networks running with
+  // incremental_priming disabled, where registering one more view
+  // re-primes the views already being observed.
   for (ProductionNode* production : productions_) {
     production->set_notify_listeners(false);
   }
@@ -385,6 +401,184 @@ void ReteNetwork::DrainWaves() {
   draining_ = false;
 }
 
+namespace {
+
+/// Collects everything a node emits while its output is reconstructed for
+/// replay (stateless transforms pushed through OnDelta).
+class CapturingSink : public EmitSink {
+ public:
+  explicit CapturingSink(Delta* out) : out_(out) {}
+  void OnEmit(ReteNode* from, Delta delta) override {
+    (void)from;
+    out_->insert(out_->end(), std::make_move_iterator(delta.begin()),
+                 std::make_move_iterator(delta.end()));
+  }
+
+ private:
+  Delta* out_;
+};
+
+/// Swaps a node's emit sink for the capture and restores the original on
+/// scope exit (nested reconstructions each save their own).
+class ScopedSink {
+ public:
+  ScopedSink(ReteNode* node, EmitSink* sink)
+      : node_(node), saved_(node->emit_sink()) {
+    node_->set_emit_sink(sink);
+  }
+  ~ScopedSink() { node_->set_emit_sink(saved_); }
+
+ private:
+  ReteNode* node_;
+  EmitSink* saved_;
+};
+
+}  // namespace
+
+ReteNetwork::InputsMap ReteNetwork::BuildInputsMap(
+    const std::vector<ReteNode*>& scope) const {
+  InputsMap inputs;
+  for (ReteNode* node : scope) {
+    for (const auto& [down, port] : node->outputs()) {
+      inputs[down].emplace_back(node, port);
+    }
+  }
+  return inputs;
+}
+
+const Delta& ReteNetwork::CurrentOutputOf(
+    ReteNode* node, const std::vector<ReteNode*>& scope, InputsMap& inputs,
+    bool& inputs_built, std::unordered_map<ReteNode*, Delta>& memo) {
+  auto it = memo.find(node);
+  if (it != memo.end()) return it->second;
+  Delta out;
+  if (!node->ReplayOutput(out)) {
+    // Stateless transform: its output is not materialized anywhere, so
+    // reconstruct it by pulling each input's current content (recursively;
+    // every upstream of a reused node is itself reused and thus primed)
+    // and pushing it through OnDelta under a capturing sink. Safe because
+    // stateless nodes mutate no memory and the capture keeps the emission
+    // away from the node's real consumers.
+    if (!inputs_built) {
+      inputs = BuildInputsMap(scope);
+      inputs_built = true;
+    }
+    auto in_it = inputs.find(node);
+    if (in_it != inputs.end()) {
+      // Copied so the iteration doesn't alias `inputs` across recursion.
+      std::vector<std::pair<ReteNode*, int>> ports = in_it->second;
+      for (const auto& [upstream, port] : ports) {
+        const Delta& content =
+            CurrentOutputOf(upstream, scope, inputs, inputs_built, memo);
+        CapturingSink capture(&out);
+        ScopedSink scoped(node, &capture);
+        node->OnDelta(port, content);
+      }
+    }
+  }
+  // unordered_map mapped references are stable across rehashes, so the
+  // returned reference survives later insertions by the caller's loop.
+  return memo.emplace(node, std::move(out)).first->second;
+}
+
+Delta ReteNetwork::ReplayOutputOf(ReteNode* node) {
+  // Diagnostics entry point: no view scope in hand, so allow the walk to
+  // consult the whole network's wiring.
+  std::vector<ReteNode*> scope;
+  scope.reserve(nodes_.size());
+  for (const auto& owned : nodes_) scope.push_back(owned.get());
+  InputsMap inputs;
+  bool inputs_built = false;
+  std::unordered_map<ReteNode*, Delta> memo;
+  return CurrentOutputOf(node, scope, inputs, inputs_built, memo);
+}
+
+ReteNetwork::PrimeStats ReteNetwork::PrimeNewNodes(
+    const std::vector<ReteNode*>& fresh_nodes,
+    const std::vector<ReplayEdge>& replay_edges,
+    const std::vector<ReteNode*>& replay_scope) {
+  PrimeStats stats;
+  stats.fresh_nodes = fresh_nodes.size();
+  stats.replay_edges = replay_edges.size();
+  assert(attached_graph_ != nullptr &&
+         "PrimeNewNodes requires an attached, maintaining network");
+  if (attached_graph_ == nullptr) return stats;
+  assert(!buffering_ && !draining_ && "prime only between graph deltas");
+
+  const bool batched = propagation_ == PropagationStrategy::kBatched;
+  // The fresh nodes were wired after the last Attach: give them the same
+  // runtime setup Attach gives every node (emit sink; deferred listener
+  // notifications under a parallel pool) and rebuild the scheduler so they
+  // have levels and state. The network is quiescent — every pending queue
+  // is empty — so rebuilding cannot drop sibling deltas.
+  for (ReteNode* node : fresh_nodes) {
+    node->set_emit_sink(batched ? this : nullptr);
+  }
+  for (ProductionNode* production : productions_) {
+    production->set_defer_notifications(pool_ != nullptr);
+  }
+  if (batched) PrepareScheduler();
+
+  std::vector<GraphSourceNode*> fresh_sources;
+  std::vector<std::pair<ReteNode*, int64_t>> source_baseline;
+  for (ReteNode* node : fresh_nodes) {
+    if (auto* source = dynamic_cast<GraphSourceNode*>(node)) {
+      fresh_sources.push_back(source);
+      source_baseline.emplace_back(node, node->emitted_entries());
+    }
+  }
+  stats.primed_sources = fresh_sources.size();
+
+  // Priming rebuilds the new consumers to their steady state; it is not an
+  // observable *change* to any view, so listener fan-out stays silent —
+  // same contract as Attach priming. (Reused nodes emit nothing here, so
+  // sibling productions receive no deltas anyway; the suppression is the
+  // defense against replay reaching a production through a chained view.)
+  for (ProductionNode* production : productions_) {
+    production->set_notify_listeners(false);
+  }
+  buffering_ = true;
+  // Structural initial output, then graph content — the Attach order, but
+  // restricted to the registration's own nodes. Fresh nodes only feed
+  // fresh nodes (a consumer wired now cannot be older than its wiring), so
+  // the cascade/drain below never touches a sibling's memories.
+  for (ReteNode* node : fresh_nodes) node->EmitInitial();
+  for (GraphSourceNode* source : fresh_sources) {
+    source->EmitInitialFromGraph();
+  }
+
+  // Memory replay: each reused node delivers its materialized output into
+  // just the newly attached consumer — the graph is never re-read for
+  // sub-plans another view already primed.
+  InputsMap inputs;
+  bool inputs_built = false;
+  std::unordered_map<ReteNode*, Delta> memo;
+  for (const ReplayEdge& edge : replay_edges) {
+    const Delta& delta =
+        CurrentOutputOf(edge.from, replay_scope, inputs, inputs_built, memo);
+    stats.replayed_entries += static_cast<int64_t>(delta.size());
+    if (delta.empty()) continue;
+    if (batched) {
+      NodeState& dst = states_.at(edge.to);
+      PendingDelta& pending = PendingFor(dst, edge.port);
+      pending.delta.insert(pending.delta.end(), delta.begin(), delta.end());
+      pending.clean = false;  // replay order is not canonical
+      EnqueueReady(edge.to, dst);
+    } else {
+      edge.to->OnDelta(edge.port, delta);
+    }
+  }
+  buffering_ = false;
+  if (batched) DrainWaves();
+  for (ProductionNode* production : productions_) {
+    production->set_notify_listeners(true);
+  }
+  for (const auto& [node, before] : source_baseline) {
+    stats.graph_primed_entries += node->emitted_entries() - before;
+  }
+  return stats;
+}
+
 int ReteNetwork::node_level(const ReteNode* node) const {
   auto it = states_.find(node);
   return it == states_.end() ? -1 : it->second.level;
@@ -393,6 +587,16 @@ int ReteNetwork::node_level(const ReteNode* node) const {
 int64_t ReteNetwork::TotalEmittedEntries() const {
   int64_t total = 0;
   for (const auto& node : nodes_) total += node->emitted_entries();
+  return total;
+}
+
+int64_t ReteNetwork::SourceEmittedEntries() const {
+  int64_t total = 0;
+  for (const GraphSourceNode* source : sources_) {
+    if (const auto* node = dynamic_cast<const ReteNode*>(source)) {
+      total += node->emitted_entries();
+    }
+  }
   return total;
 }
 

@@ -64,6 +64,20 @@ const char* ExecutorKindName(ExecutorKind kind);
 /// to the same graph is a no-op. A network is permanently bound to the
 /// graph its source nodes were built over — attaching it to a *different*
 /// graph is rejected (the sources read their construction-time graph).
+/// Nodes may also be added *after* Attach (catalog registrations):
+/// PrimeNewNodes splices them in — fresh sources prime from the graph,
+/// reused upstream nodes replay their memories along the new edges — while
+/// the network keeps maintaining; RemoveNodes splices refcount-zero nodes
+/// back out.
+///
+/// Thread-safety: the public API must be driven from one thread (the one
+/// that owns the graph and applies deltas). Parallelism happens only
+/// *inside* a batched drain: under ExecutorKind::kParallel each wave's
+/// nodes are claimed by pool workers with single-writer memories and
+/// staging slots, merged at a barrier in ready order — results are
+/// bit-identical to serial execution for every thread count. Listener
+/// callbacks always run on the draining thread (deferred to the wave
+/// barrier under a parallel pool), never concurrently.
 class ReteNetwork : public GraphListener, private EmitSink {
  public:
   ReteNetwork() = default;
@@ -108,11 +122,26 @@ class ReteNetwork : public GraphListener, private EmitSink {
   void set_executor(ExecutorKind kind, int num_threads = 0);
   ExecutorKind executor() const { return executor_; }
 
+  /// Lends a pre-built worker pool for kParallel waves instead of having
+  /// this network spawn its own at Attach(). The ViewCatalog shares one
+  /// pool across every network its engine creates, so disabling
+  /// operator-state sharing no longer costs a thread pool per view. Must
+  /// be called before Attach(); the pool's parallelism must equal the
+  /// resolved thread count (asserted). The pool is used from the draining
+  /// thread only — graph listeners run sequentially, so sibling networks
+  /// on one graph never dispatch concurrently.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool);
+
   /// The wave parallelism actually in effect after Attach(): the pool size
   /// under kParallel, 1 otherwise.
   int executor_parallelism() const {
     return pool_ != nullptr ? pool_->parallelism() : 1;
   }
+
+  /// The pool parallel waves run on (null when the resolved executor is
+  /// serial). All networks created by one engine share a single instance —
+  /// see set_thread_pool. Exposed for diagnostics/tests.
+  const ThreadPool* thread_pool() const { return pool_.get(); }
 
   /// Payload size at or below which between-wave consolidation takes the
   /// pairwise fast path instead of sorting (see Consolidate). Purely a
@@ -130,6 +159,58 @@ class ReteNetwork : public GraphListener, private EmitSink {
   void Detach();
 
   bool attached() const { return attached_graph_ != nullptr; }
+
+  /// One reused → fresh subscription created by a catalog registration:
+  /// `from` is a live node another view already primed, `to`/`port` the
+  /// newly attached consumer that must receive `from`'s materialized
+  /// output to reach steady state.
+  struct ReplayEdge {
+    ReteNode* from = nullptr;
+    ReteNode* to = nullptr;
+    int port = 0;
+  };
+
+  /// Accounting of one incremental prime: how many tuples reached the new
+  /// sub-network by memory replay vs. by re-reading the graph. With full
+  /// structural sharing, `graph_primed_entries` is 0 and
+  /// `replayed_entries` is proportional to the new view's input/result
+  /// sizes — never to the catalog size.
+  struct PrimeStats {
+    int64_t replayed_entries = 0;     // tuples delivered along replay edges
+    int64_t graph_primed_entries = 0;  // tuples emitted by fresh sources
+    size_t replay_edges = 0;           // reused → fresh subscriptions
+    size_t primed_sources = 0;         // fresh graph-boundary nodes
+    size_t fresh_nodes = 0;            // nodes built for this registration
+  };
+
+  /// Incremental priming — primes just-built nodes while the network stays
+  /// attached and maintaining. `fresh_nodes` (bottom-up order; the nodes a
+  /// registration added after the last Attach) emit their structural
+  /// initial output, fresh *source* nodes assert the current graph
+  /// content, and every ReplayEdge delivers the reused upstream node's
+  /// materialized memory (ReplayOutput, reconstructed through stateless
+  /// transforms) into only the newly attached consumer. Deliveries are
+  /// scoped: fresh nodes only feed fresh nodes, reused nodes emit
+  /// nothing, so sibling views' memories, pending deltas and listeners
+  /// are untouched (listener fan-out is suppressed for the duration, as
+  /// during Attach priming). Call between graph deltas (the network must
+  /// be quiescent), after wiring the new nodes; under kBatched the
+  /// scheduler is rebuilt to cover them.
+  ///
+  /// `replay_scope` bounds the reverse-edge walk that reconstructs
+  /// stateless replay sources: pass the registering view's full node set
+  /// (support ∪ fresh) — it is closed under upstream edges, so the
+  /// reconstruction never needs wiring outside it and the rest of the
+  /// catalog is not even visited.
+  PrimeStats PrimeNewNodes(const std::vector<ReteNode*>& fresh_nodes,
+                           const std::vector<ReplayEdge>& replay_edges,
+                           const std::vector<ReteNode*>& replay_scope);
+
+  /// `node`'s current output as an insert-only delta: ReplayOutput for
+  /// stateful nodes, reconstructed via the node's inputs for stateless
+  /// transforms. Exposed for tests/diagnostics; PrimeNewNodes memoizes
+  /// across replay edges instead of calling this per edge.
+  Delta ReplayOutputOf(ReteNode* node);
 
   /// Destroys `victims` — nodes no remaining view references (the caller,
   /// normally the ViewCatalog, owns that refcount). Victims are unsubscribed
@@ -163,6 +244,13 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// Under kBatched, emissions are counted after consolidation, so
   /// cancelled inverse pairs do not contribute.
   int64_t TotalEmittedEntries() const;
+
+  /// Lifetime sum of delta entries emitted by the graph-boundary source
+  /// nodes only — the graph-read volume. The catalog differences this
+  /// around priming to report graph-primed tuples (PrimeStats).
+  int64_t SourceEmittedEntries() const;
+
+  size_t source_count() const { return sources_.size(); }
 
  private:
   /// One input port's queued delta. `clean` means the content is a single
@@ -224,6 +312,23 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// bit-identical to serial draining.
   void DrainWaves();
 
+  /// (upstream, port) inputs per node, derived from the output wiring —
+  /// the reverse edges ReplayOutput reconstruction walks for stateless
+  /// nodes. Built on demand (only when a replay chain crosses one) and
+  /// only over `scope` (a view's support set is upstream-closed, so the
+  /// walk stays inside it — O(view), not O(catalog)).
+  using InputsMap =
+      std::unordered_map<const ReteNode*,
+                         std::vector<std::pair<ReteNode*, int>>>;
+  InputsMap BuildInputsMap(const std::vector<ReteNode*>& scope) const;
+
+  /// Memoized current output of `node` (see ReplayOutputOf). `inputs` is
+  /// filled lazily from `scope` on the first stateless node encountered.
+  const Delta& CurrentOutputOf(ReteNode* node,
+                               const std::vector<ReteNode*>& scope,
+                               InputsMap& inputs, bool& inputs_built,
+                               std::unordered_map<ReteNode*, Delta>& memo);
+
   std::vector<std::unique_ptr<ReteNode>> nodes_;
   std::vector<GraphSourceNode*> sources_;
   ProductionNode* production_ = nullptr;
@@ -239,9 +344,12 @@ class ReteNetwork : public GraphListener, private EmitSink {
   PropagationStrategy propagation_ = PropagationStrategy::kBatched;
   ExecutorKind executor_ = ExecutorKind::kSerial;
   int executor_threads_ = 0;  // 0 = hardware concurrency
-  /// Lazily built at Attach() when the resolved executor is parallel;
-  /// workers persist across waves and attachments.
-  std::unique_ptr<ThreadPool> pool_;
+  /// The pool parallel waves run on: `shared_pool_` when the catalog lent
+  /// one, else lazily built at Attach(); workers persist across waves and
+  /// attachments. Null whenever the resolved executor is serial.
+  std::shared_ptr<ThreadPool> pool_;
+  /// Engine-wide pool injected via set_thread_pool (may be null).
+  std::shared_ptr<ThreadPool> shared_pool_;
   size_t consolidation_cutoff_ = kDefaultConsolidationCutoff;
   /// Scratch for the wave loop: the owned subset of the level being
   /// drained (kept as a member so steady-state waves don't allocate).

@@ -350,6 +350,8 @@ Result<BuiltView> BuildViewInto(ReteNetwork* network, const OpPtr& plan,
   view.production = production;
   view.nodes = std::move(root->support);
   view.nodes.push_back(production);
+  view.created = builder.created();
+  view.created.push_back(production);
   return view;
 }
 

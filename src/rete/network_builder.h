@@ -53,9 +53,16 @@ NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options);
 /// One view instantiated inside a (possibly multi-view) network: its
 /// production root plus every Rete node the view references — shared
 /// prefixes included. The ViewCatalog refcounts exactly this set.
+///
+/// `created` is the registry-miss partition of `nodes`: the nodes this
+/// call actually constructed, in creation (bottom-up) order, production
+/// last. `nodes` minus `created` are the registry hits — live nodes other
+/// views already primed, whose memories the catalog replays into the new
+/// consumers instead of re-reading the graph (ReteNetwork::PrimeNewNodes).
 struct BuiltView {
   ProductionNode* production = nullptr;
-  std::vector<ReteNode*> nodes;  // deduped, production included
+  std::vector<ReteNode*> nodes;    // deduped, production included
+  std::vector<ReteNode*> created;  // fresh subset, bottom-up, production last
 };
 
 /// Instantiates the FRA plan (paper step 4) as a Rete sub-network inside

@@ -30,9 +30,24 @@ class EmitSink {
 /// A node receives bag deltas on numbered input ports (0 for unary nodes,
 /// 0/1 for binary ones), updates its internal memory, and emits the derived
 /// delta to its downstream subscribers. With no emit sink installed,
-/// propagation is synchronous and depth-first; networks are fan-in trees
-/// (no shared sub-networks), so no glitch handling is needed. With a sink
-/// installed the owning network schedules delivery instead.
+/// propagation is synchronous and depth-first; with a sink installed the
+/// owning network schedules delivery instead. Within one network the
+/// wiring forms a DAG (catalog sharing fans one node out to consumers of
+/// several views); deliveries are per-(node, port) consolidated by the
+/// batched scheduler, so no glitch handling is needed.
+///
+/// Thread-safety: a node's memories are single-writer by construction —
+/// OnDelta runs either on the network's draining thread or, during a
+/// parallel wave, on exactly one pool worker that has claimed the node;
+/// nothing locks. Read accessors (ApproxMemoryBytes, emitted_entries,
+/// ReplayOutput) are safe from the driving thread between drains.
+///
+/// Lifecycle: constructed bottom-up by the network builder, owned by the
+/// ReteNetwork, wired via AddOutput before the network attaches or primes
+/// the node (catalog registrations add nodes to live networks and prime
+/// them via ReteNetwork::PrimeNewNodes). Reset() returns a node to its
+/// pre-prime state; RemoveOutputsTo unsubscribes dying consumers without
+/// touching this node's memories.
 class ReteNode {
  public:
   explicit ReteNode(Schema schema) : schema_(std::move(schema)) {}
@@ -63,6 +78,28 @@ class ReteNode {
   /// parallel delivery, so user listener code never runs concurrently.
   virtual void OnWaveBarrier() {}
 
+  /// Memory replay — the incremental-priming hook. Appends this node's
+  /// *current output* (the exact insert-only delta a fresh downstream
+  /// consumer must receive to reach steady state) to `out` and returns
+  /// true. Stateful nodes reconstruct it from their memories: an input
+  /// node replays its asserted tuples, a join probes its two memories, an
+  /// aggregate renders its live groups, a production replays its result
+  /// bag. Stateless transforms (filter/project/union/unnest) return false
+  /// without touching `out`; the network (ReteNetwork::PrimeNewNodes /
+  /// ReplayOutputOf) then reconstructs their output by pulling the inputs
+  /// and pushing them through OnDelta under a capturing sink (safe:
+  /// stateless nodes mutate no memory).
+  ///
+  /// Contract: must not Emit, must not mutate any memory, and must be
+  /// exact — ViewCatalog registration relies on replay-primed consumers
+  /// being bit-identical to graph-primed ones (asserted by the
+  /// differential harness). Entries carry positive multiplicities; order
+  /// is irrelevant (the scheduler consolidates before delivery).
+  virtual bool ReplayOutput(Delta& out) const {
+    (void)out;
+    return false;
+  }
+
   /// Subscribes `node` to this node's output, delivering to its `port`.
   void AddOutput(ReteNode* node, int port) {
     outputs_.emplace_back(node, port);
@@ -87,6 +124,7 @@ class ReteNode {
 
   /// Installs (or with nullptr removes) the emission interception sink.
   void set_emit_sink(EmitSink* sink) { sink_ = sink; }
+  EmitSink* emit_sink() const { return sink_; }
 
   const Schema& schema() const { return schema_; }
 

@@ -221,6 +221,18 @@ void PathInputNode::EmitInitialFromGraph() {
   Emit(std::move(out));
 }
 
+bool PathInputNode::ReplayOutput(Delta& out) const {
+  out.reserve(out.size() + zero_asserted_.size() + paths_.size());
+  for (VertexId v : zero_asserted_) {
+    out.push_back({MakeTuple(Path::Single(v)), 1});
+  }
+  for (const auto& [id, path] : paths_) {
+    (void)id;
+    out.push_back({MakeTuple(path), 1});
+  }
+  return true;
+}
+
 size_t PathInputNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [id, path] : paths_) {

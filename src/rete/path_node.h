@@ -36,6 +36,10 @@ class PathInputNode : public ReteNode, public GraphSourceNode {
   void HandleChange(const GraphChange& change) override;
   void EmitInitialFromGraph() override;
 
+  /// Replays every materialized trail (and, for min_hops == 0, the
+  /// asserted zero-length paths).
+  bool ReplayOutput(Delta& out) const override;
+
   void Reset() override {
     paths_.clear();
     edge_index_.clear();

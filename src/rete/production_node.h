@@ -35,6 +35,15 @@ class ProductionNode : public ReteNode {
     ++version_;
   }
 
+  /// Replays the materialized result bag (chained-view priming).
+  bool ReplayOutput(Delta& out) const override {
+    out.reserve(out.size() + results_.counts().size());
+    for (const auto& [tuple, count] : results_.counts()) {
+      out.push_back({tuple, count});
+    }
+    return true;
+  }
+
   /// Current result bag (tuple -> multiplicity).
   const Bag& results() const { return results_; }
 

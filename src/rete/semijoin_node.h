@@ -18,6 +18,10 @@ class SemiJoinNode : public ReteNode {
 
   void OnDelta(int port, const Delta& delta) override;
 
+  /// Replays the currently matched left tuples (keys with positive right
+  /// support), each with its own multiplicity.
+  bool ReplayOutput(Delta& out) const override;
+
   void Reset() override {
     left_memory_.clear();
     right_support_.clear();

@@ -75,6 +75,15 @@ TEST_P(DifferentialTest, ViewMatchesBaselineAfterEveryUpdate) {
 // to the reference (the parallel determinism contract), and periodically
 // both are checked against a fresh EvaluateOnce() so the pair can't drift
 // together.
+//
+// Registrations into the engine under test are *staggered*: half the views
+// are registered up front, the rest one at a time between deltas, so every
+// late registration exercises incremental priming (memory replay) into a
+// live, mid-churn catalog — while the reference registers everything up
+// front (graph-primed). The bit-identity assertions therefore also prove
+// that a replay-primed catalog equals a freshly built one, across seeds ×
+// strategies × thread counts; a final fresh engine built after the stream
+// re-checks the same equivalence end-state against graph priming alone.
 
 const char* const kHarnessQueries[] = {
     "MATCH (a:A)-[r:R]->(b:B) RETURN a, r, b",
@@ -122,15 +131,20 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
   ScopedThreadsEnv no_env(nullptr);
   QueryEngine engine(&graph, options);
   QueryEngine reference_engine(&graph);
+  constexpr size_t kNumQueries =
+      sizeof(kHarnessQueries) / sizeof(kHarnessQueries[0]);
+  constexpr size_t kUpfront = kNumQueries / 2;
   std::vector<std::shared_ptr<View>> views;
   std::vector<std::shared_ptr<View>> reference_views;
   for (const char* query : kHarnessQueries) {
-    Result<std::shared_ptr<View>> view = engine.Register(query);
-    ASSERT_TRUE(view.ok()) << query << ": " << view.status();
-    views.push_back(*view);
     Result<std::shared_ptr<View>> reference = reference_engine.Register(query);
     ASSERT_TRUE(reference.ok()) << query << ": " << reference.status();
     reference_views.push_back(*reference);
+  }
+  for (size_t q = 0; q < kUpfront; ++q) {
+    Result<std::shared_ptr<View>> view = engine.Register(kHarnessQueries[q]);
+    ASSERT_TRUE(view.ok()) << kHarnessQueries[q] << ": " << view.status();
+    views.push_back(*view);
   }
 
   Rng control(param.seed * 7919 + 13);
@@ -145,6 +159,15 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
       graph.CommitBatch();
     } else {
       generator.ApplyRandomUpdate(&graph);
+    }
+    // Stagger the remaining registrations through the stream: each one
+    // replay-primes into the live catalog and must land bit-identical to
+    // the reference's graph-primed twin immediately.
+    if (step % 3 == 1 && views.size() < kNumQueries) {
+      const char* query = kHarnessQueries[views.size()];
+      Result<std::shared_ptr<View>> view = engine.Register(query);
+      ASSERT_TRUE(view.ok()) << query << ": " << view.status();
+      views.push_back(*view);
     }
     const bool check_baseline = step % 8 == 7 || step == kDeltas - 1;
     for (size_t q = 0; q < views.size(); ++q) {
@@ -171,6 +194,25 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
             << ": " << actual[i].ToString() << " vs "
             << expected.value()[i].ToString();
       }
+    }
+  }
+  ASSERT_EQ(views.size(), kNumQueries) << "stagger schedule exhausted early";
+
+  // End state: a brand-new engine built over the final graph (pure graph
+  // priming, no replay anywhere) must agree bit-for-bit with the engine
+  // whose catalog grew by staggered replay-primed registrations.
+  QueryEngine fresh_engine(&graph, options);
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    Result<std::shared_ptr<View>> fresh =
+        fresh_engine.Register(kHarnessQueries[q]);
+    ASSERT_TRUE(fresh.ok()) << kHarnessQueries[q] << ": " << fresh.status();
+    std::vector<Tuple> actual = views[q]->Snapshot();
+    std::vector<Tuple> rebuilt = (*fresh)->Snapshot();
+    ASSERT_EQ(actual.size(), rebuilt.size())
+        << kHarnessQueries[q] << ": replay-primed catalog != fresh build";
+    for (size_t i = 0; i < actual.size(); ++i) {
+      ASSERT_EQ(Tuple::Compare(actual[i], rebuilt[i]), 0)
+          << kHarnessQueries[q] << " row " << i;
     }
   }
 }
