@@ -220,6 +220,100 @@ BENCHMARK(BM_E3_CatalogSharingSweep)
     ->UseRealTime()
     ->Iterations(20);
 
+// ---- canonical-normalization sharing sweep ----------------------------------
+//
+// Real standing-query fleets register the same logical query in different
+// spellings: dashboards rename aliases, templating reorders MATCH clauses,
+// users commute WHERE conjuncts. Structural sharing alone (PR 2) misses all
+// of that; canonical plan normalization (PlanOptions::canonicalize) folds
+// the spellings into one normal form before fingerprinting. range(0) views
+// are registered cycling over three permuted spellings of each of four base
+// queries; range(1) toggles canonicalization. Counters record the registry
+// hit rate and the shared-node ratio — with canonicalization on, every
+// spelling beyond the first of a base query is a 100% registry hit, so
+// hit_rate and shared_ratio jump while nodes/mem_bytes drop. The timed
+// loop commits 64-change bursts, making items/s comparable with the other
+// E3 sweeps (fewer live nodes also means less propagation work).
+
+std::vector<std::string> PermutedStandingQueries() {
+  return {
+      // Base query 1: alias rename / commuted equality.
+      "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang "
+      "RETURN p, c",
+      "MATCH (x:Post)-[:REPLY]->(y:Comm) WHERE x.lang = y.lang "
+      "RETURN x, y",
+      "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE c.lang = p.lang "
+      "RETURN p, c",
+      // Base query 2: MATCH part permutation / rename.
+      "MATCH (u:Person)-[:LIKES]->(m:Post), (m)-[:REPLY]->(c:Comm) "
+      "RETURN u, c",
+      "MATCH (m)-[:REPLY]->(c:Comm), (u:Person)-[:LIKES]->(m:Post) "
+      "RETURN u, c",
+      "MATCH (fan:Person)-[:LIKES]->(msg:Post), (msg)-[:REPLY]->(r:Comm) "
+      "RETURN fan AS u, r AS c",
+      // Base query 3: commuted WHERE conjuncts / flipped literal side.
+      "MATCH (m:Post) WHERE m.length > 100 AND m.lang = 'en' RETURN m",
+      "MATCH (m:Post) WHERE m.lang = 'en' AND m.length > 100 RETURN m",
+      "MATCH (q:Post) WHERE 'en' = q.lang AND q.length > 100 "
+      "RETURN q AS m",
+      // Base query 4: alias rename / commuted property equality.
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.country = b.country "
+      "RETURN a, b",
+      "MATCH (p:Person)-[:KNOWS]->(q:Person) WHERE p.country = q.country "
+      "RETURN p, q",
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE b.country = a.country "
+      "RETURN a, b",
+  };
+}
+
+void BM_E3_CanonicalSharingSweep(benchmark::State& state) {
+  int64_t num_views = state.range(0);
+  bool canonicalize = state.range(1) == 1;
+  constexpr int kChangesPerBatch = 64;
+
+  PropertyGraph graph;
+  SocialNetworkConfig config;
+  config.persons = 60;
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  EngineOptions options;
+  options.plan.canonicalize = canonicalize;
+  QueryEngine engine(&graph, options);
+  std::vector<std::shared_ptr<View>> views;
+  std::vector<std::string> catalog = PermutedStandingQueries();
+  for (int64_t i = 0; i < num_views; ++i) {
+    views.push_back(
+        engine.Register(catalog[static_cast<size_t>(i) % catalog.size()])
+            .value());
+  }
+
+  for (auto _ : state) {
+    graph.BeginBatch();
+    for (int i = 0; i < kChangesPerBatch; ++i) {
+      generator.ApplyRandomUpdate(&graph);
+    }
+    graph.CommitBatch();
+  }
+
+  CatalogStats stats = engine.catalog().Stats();
+  double lookups =
+      static_cast<double>(stats.registry_hits + stats.registry_misses);
+  state.SetItemsProcessed(state.iterations() * kChangesPerBatch);
+  state.counters["views"] = static_cast<double>(views.size());
+  state.counters["nodes"] = static_cast<double>(stats.total_nodes);
+  state.counters["shared_nodes"] = static_cast<double>(stats.shared_nodes);
+  state.counters["mem_bytes"] = static_cast<double>(stats.memory_bytes);
+  state.counters["hit_rate"] =
+      lookups == 0.0 ? 0.0
+                     : static_cast<double>(stats.registry_hits) / lookups;
+  state.counters["shared_ratio"] = stats.SharingRatio();
+  state.SetLabel(canonicalize ? "canonical" : "structural");
+}
+BENCHMARK(BM_E3_CanonicalSharingSweep)
+    ->ArgsProduct({{6, 12, 24}, {0, 1}})
+    ->Iterations(20);
+
 // ---- registration latency into a live catalog ------------------------------
 //
 // The MV4PG concern: how long does Register() take once the catalog is

@@ -1,5 +1,6 @@
 #include "algebra/operator.h"
 
+#include <functional>
 #include <sstream>
 #include <unordered_set>
 
@@ -395,6 +396,106 @@ Status ComputeSchemas(const OpPtr& root) {
     PGIVM_RETURN_IF_ERROR(ComputeSchemas(child));
   }
   return ComputeOne(root);
+}
+
+Status ComputeSchemaShallow(const OpPtr& op) { return ComputeOne(op); }
+
+namespace {
+
+bool ExprEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return Expression::Equal(*a, *b);
+}
+
+bool NamedExprsEqual(
+    const std::vector<std::pair<std::string, ExprPtr>>& a,
+    const std::vector<std::pair<std::string, ExprPtr>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].first != b[i].first || !ExprEqual(a[i].second, b[i].second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t HashString(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+}  // namespace
+
+bool PlanEqual(const OpPtr& a, const OpPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->children.size() != b->children.size()) {
+    return false;
+  }
+  if (a->vertex_var != b->vertex_var || a->labels != b->labels ||
+      a->src_var != b->src_var || a->edge_var != b->edge_var ||
+      a->dst_var != b->dst_var || a->edge_types != b->edge_types ||
+      a->direction != b->direction ||
+      a->variable_length != b->variable_length ||
+      a->min_hops != b->min_hops || a->max_hops != b->max_hops ||
+      a->path_var != b->path_var || a->extracts != b->extracts ||
+      a->unnest_alias != b->unnest_alias ||
+      a->unnest_drop_columns != b->unnest_drop_columns) {
+    return false;
+  }
+  if (!ExprEqual(a->predicate, b->predicate) ||
+      !ExprEqual(a->unnest_expr, b->unnest_expr) ||
+      !NamedExprsEqual(a->projections, b->projections) ||
+      !NamedExprsEqual(a->group_by, b->group_by) ||
+      !NamedExprsEqual(a->aggregates, b->aggregates)) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!PlanEqual(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+size_t PlanHash(const OpPtr& op) {
+  if (op == nullptr) return 0;
+  size_t seed = static_cast<size_t>(op->kind) * 0x9e3779b97f4a7c15ull;
+  HashCombine(seed, HashString(op->vertex_var));
+  for (const std::string& label : op->labels) {
+    HashCombine(seed, HashString(label));
+  }
+  HashCombine(seed, HashString(op->src_var));
+  HashCombine(seed, HashString(op->edge_var));
+  HashCombine(seed, HashString(op->dst_var));
+  for (const std::string& type : op->edge_types) {
+    HashCombine(seed, HashString(type));
+  }
+  HashCombine(seed, static_cast<size_t>(op->direction));
+  HashCombine(seed, static_cast<size_t>(op->min_hops));
+  HashCombine(seed, static_cast<size_t>(op->max_hops));
+  HashCombine(seed, HashString(op->path_var));
+  for (const PropertyExtract& extract : op->extracts) {
+    HashCombine(seed, static_cast<size_t>(extract.what));
+    HashCombine(seed, HashString(extract.element_var));
+    HashCombine(seed, HashString(extract.key));
+    HashCombine(seed, HashString(extract.column_name));
+  }
+  if (op->predicate != nullptr) HashCombine(seed, op->predicate->Hash());
+  if (op->unnest_expr != nullptr) HashCombine(seed, op->unnest_expr->Hash());
+  HashCombine(seed, HashString(op->unnest_alias));
+  for (const std::string& dropped : op->unnest_drop_columns) {
+    HashCombine(seed, HashString(dropped));
+  }
+  for (const auto* named :
+       {&op->projections, &op->group_by, &op->aggregates}) {
+    for (const auto& [name, expr] : *named) {
+      HashCombine(seed, HashString(name));
+      if (expr != nullptr) HashCombine(seed, expr->Hash());
+    }
+  }
+  for (const OpPtr& child : op->children) {
+    HashCombine(seed, PlanHash(child));
+  }
+  return seed;
 }
 
 }  // namespace pgivm

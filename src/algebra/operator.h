@@ -133,8 +133,24 @@ OpPtr CloneTree(const OpPtr& op);
 /// Must be re-run after any structural rewrite.
 Status ComputeSchemas(const OpPtr& root);
 
+/// Recomputes `op->schema` from its *children's* schemas, which must
+/// already be valid — the single-node step of ComputeSchemas. Rewrite
+/// passes that rebuild trees bottom-up (e.g. canonicalization) call this
+/// per node instead of re-walking whole subtrees.
+Status ComputeSchemaShallow(const OpPtr& op);
+
 /// Collects every node of the tree in post-order (children before parents).
 void CollectPostOrder(const OpPtr& root, std::vector<OpPtr>& out);
+
+/// Deep structural equality of two plans: operator kinds, every parameter
+/// (variables, labels/types, hop bounds, extracts), expressions
+/// (Expression::Equal) and children. Schemas are derived state and are not
+/// compared. Two queries whose plans are PlanEqual after canonicalization
+/// lower to byte-identical Rete networks.
+bool PlanEqual(const OpPtr& a, const OpPtr& b);
+
+/// Structural hash consistent with PlanEqual.
+size_t PlanHash(const OpPtr& op);
 
 }  // namespace pgivm
 

@@ -45,6 +45,13 @@ Result<OpPtr> LowerToFra(const OpPtr& gra, const PlanOptions& options) {
     PGIVM_RETURN_IF_ERROR(ComputeSchemas(plan));
   }
 
+  // Canonical normalization runs last, on the final FRA shape, so the
+  // catalog's fingerprint registry sees one normal form per logical plan.
+  if (options.canonicalize) {
+    PGIVM_ASSIGN_OR_RETURN(plan, CanonicalizePlan(plan));
+    PGIVM_RETURN_IF_ERROR(ComputeSchemas(plan));
+  }
+
   return plan;
 }
 

@@ -32,6 +32,16 @@ struct PlanOptions {
   /// expression — the structural prerequisite of fine-grained unnest
   /// maintenance (FGN).
   bool narrow_unnest_outputs = true;
+
+  /// Rewrite the lowered FRA plan into its canonical normal form (join
+  /// regions flattened and deterministically re-ordered, filter conjuncts
+  /// split/sorted/re-merged, commutative expression operands ordered, union
+  /// branches sorted) so logically equal queries — MATCH clause
+  /// permutations, alias renames, commuted WHERE conjuncts — reach the
+  /// catalog's fingerprint registry as one plan and share one Rete
+  /// sub-network. Results are unchanged; off = the PR-2 structural-only
+  /// sharing, kept as the ablation baseline for the E3 canonical sweep.
+  bool canonicalize = true;
 };
 
 /// Runs the full GRA → NRA → FRA lowering pipeline (paper steps 2 and 3) on
@@ -73,6 +83,32 @@ void PruneUnusedExtracts(const OpPtr& root);
 /// column there could merge groups). Requires schemas computed; mutates in
 /// place (schemas stale afterwards).
 void NarrowUnnestOutputs(const OpPtr& root);
+
+/// Canonical plan normalization (the last FRA pass; PlanOptions::
+/// canonicalize). Rewrites the plan into a normal form chosen so that
+/// logically equal plans become structurally — for same-alias spellings,
+/// byte — identical:
+///
+///  * every maximal inner-join region (kJoin trees with interleaved
+///    kSelection nodes) is flattened; its conjuncts are pulled up, its
+///    leaves re-ordered by canonical fingerprint (connected leaves first,
+///    so no cross product is introduced where the source had none) and
+///    rebuilt left-deep; each conjunct is re-pushed to its deepest binding
+///    site, and every selection site carries its conjuncts key-sorted,
+///    deduplicated and re-merged into one σ;
+///  * chains of semi-/anti-joins (exists() conjuncts) are re-ordered by
+///    the canonical key of their probe side;
+///  * union branches are flattened and key-sorted;
+///  * commutative expression operands are ordered (CanonicalizeExpr) and
+///    label/type/extract lists sorted in every leaf;
+///  * projection / group-by / aggregate items are key-sorted (the Produce
+///    root keeps its user-visible column order).
+///
+/// Output columns of every operator keep their *names*, so downstream
+/// name-based binding — and therefore every view snapshot — is unchanged.
+/// Requires schemas computed; returns a rewritten tree with schemas
+/// recomputed.
+Result<OpPtr> CanonicalizePlan(const OpPtr& root);
 
 }  // namespace pgivm
 

@@ -2,25 +2,37 @@
 
 #include <sstream>
 
+#include "algebra/plan_fingerprint.h"
+
 namespace pgivm {
 
 namespace {
 
-void PrintRec(const OpPtr& op, int depth, std::ostringstream& os) {
+void PrintRec(const OpPtr& op, int depth, const PlanPrintOptions& options,
+              std::ostringstream& os) {
   for (int i = 0; i < depth; ++i) os << "  ";
   os << op->DebugString();
   if (!op->schema.empty() || op->kind == OpKind::kUnit) {
     os << "  " << op->schema.ToString();
   }
+  if (options.fingerprints) {
+    os << "  " << FormatFingerprint(CanonicalPlanKey(*op));
+  }
   os << "\n";
-  for (const OpPtr& child : op->children) PrintRec(child, depth + 1, os);
+  for (const OpPtr& child : op->children) {
+    PrintRec(child, depth + 1, options, os);
+  }
 }
 
 }  // namespace
 
 std::string PrintPlan(const OpPtr& root) {
+  return PrintPlan(root, PlanPrintOptions{});
+}
+
+std::string PrintPlan(const OpPtr& root, const PlanPrintOptions& options) {
   std::ostringstream os;
-  PrintRec(root, 0, os);
+  PrintRec(root, 0, options, os);
   return os.str();
 }
 

@@ -7,13 +7,29 @@
 
 namespace pgivm {
 
+struct PlanPrintOptions {
+  /// Append each operator's canonical fingerprint — `fp=<16 hex digits>`
+  /// of CanonicalPlanKey's 64-bit hash, or `fp=-` for a sub-plan the
+  /// fingerprint does not cover (never shared). Two dumps of logically
+  /// equal views line up fingerprint-by-fingerprint, so a registry sharing
+  /// miss is visible as the first line where the tags diverge. Requires
+  /// schemas computed (always true for compiled plans).
+  bool fingerprints = false;
+};
+
 /// Renders the operator tree as an indented multi-line string, one operator
 /// per line with its output schema, children indented below:
 ///
 ///   Produce p AS p, t AS t (p:V, t:P)
 ///     Selection (#c.lang = #p.lang) (...)
 ///       ...
+///
+/// With `options.fingerprints`, each line gains the operator's canonical
+/// fingerprint tag:
+///
+///   Produce p AS p, t AS t (p:V, t:P)  fp=91f3b2...
 std::string PrintPlan(const OpPtr& root);
+std::string PrintPlan(const OpPtr& root, const PlanPrintOptions& options);
 
 }  // namespace pgivm
 

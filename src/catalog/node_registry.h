@@ -7,23 +7,15 @@
 #include <vector>
 
 #include "algebra/operator.h"
+// CanonicalPlanKey — the fingerprint this registry is keyed by. It moved to
+// the algebra layer so the canonicalize pass (which must order sub-plans by
+// the exact rendering the registry fingerprints with) can share it; the
+// include keeps every registry client compiling unchanged.
+#include "algebra/plan_fingerprint.h"
 
 namespace pgivm {
 
 class ReteNode;
-
-/// Canonical structural fingerprint of an FRA sub-plan: operator kind +
-/// parameters + child fingerprints, with every variable reference rewritten
-/// to a schema *position* so the key is insensitive to query aliases
-/// (`MATCH (p:Post)` and `MATCH (x:Post)` fingerprint identically). Two
-/// sub-plans with equal keys compute positionally identical tuple streams,
-/// so one Rete node (and its memories) can serve both — the downstream
-/// consumers of each view bind their expressions positionally anyway.
-///
-/// Returns "" when the sub-plan contains a construct the canonicalizer does
-/// not cover (unbound variable, compile-time-only placeholder); such
-/// sub-plans are simply built privately, never shared.
-std::string CanonicalPlanKey(const LogicalOp& op);
 
 /// Fingerprint → instantiated Rete sub-network. Owned by a ViewCatalog; the
 /// network builder consults it before constructing a node so that views

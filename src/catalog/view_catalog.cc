@@ -73,6 +73,8 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
                              network_options_.num_threads);
       network_->set_consolidation_cutoff(
           network_options_.consolidation_cutoff);
+      network_->set_parallel_min_wave_entries(
+          network_options_.parallel_min_wave_entries);
       network_->set_thread_pool(EnginePool());
     }
     Result<BuiltView> built = BuildViewInto(network_.get(), view->fra_,

@@ -65,8 +65,14 @@ Result<std::string> QueryEngine::Explain(std::string_view cypher,
   PGIVM_ASSIGN_OR_RETURN(Query query, ParseAndBind(cypher, parameters));
   PGIVM_ASSIGN_OR_RETURN(OpPtr gra, CompileToGra(query));
   PGIVM_ASSIGN_OR_RETURN(OpPtr fra, LowerToFra(gra, options_.plan));
+  // The FRA dump carries each operator's canonical fingerprint — the key
+  // the catalog's NodeRegistry shares by — so comparing two Explain
+  // outputs shows exactly which sub-plans two views would share and where
+  // sharing stops.
+  PlanPrintOptions fra_print;
+  fra_print.fingerprints = true;
   return StrCat("GRA (paper step 1):\n", PrintPlan(gra),
-                "\nFRA (after steps 2-3):\n", PrintPlan(fra));
+                "\nFRA (after steps 2-3):\n", PrintPlan(fra, fra_print));
 }
 
 }  // namespace pgivm

@@ -342,6 +342,19 @@ void ReteNetwork::FlushNode(ReteNode* node, NodeState& state) {
   state.out.clear();
 }
 
+size_t ReteNetwork::WaveQueuedEntries(
+    const std::vector<ReteNode*>& ready) const {
+  size_t entries = 0;
+  for (const ReteNode* node : ready) {
+    const NodeState& state = states_.at(node);
+    for (const auto& [port, pending] : state.pending) {
+      (void)port;
+      entries += pending.delta.size();
+    }
+  }
+  return entries;
+}
+
 void ReteNetwork::DrainWaves() {
   draining_ = true;
   const bool parallel = pool_ != nullptr;
@@ -349,7 +362,14 @@ void ReteNetwork::DrainWaves() {
     // Appends only target strictly higher levels, so iterating by index
     // while lower levels flush into this one is safe; a level never grows
     // while it is being drained.
-    const bool wave_parallel = parallel && ready.size() > 1;
+    //
+    // Work-size gate: near-empty waves (single-change steady state) run
+    // inline — waking the pool costs more than delivering a handful of
+    // entries. Bit-parity is unaffected; only *where* delivery runs moves.
+    const bool wave_parallel =
+        parallel && ready.size() > 1 &&
+        (parallel_min_wave_entries_ == 0 ||
+         WaveQueuedEntries(ready) >= parallel_min_wave_entries_);
     if (wave_parallel) {
       // Phase 1 — the wave's owned nodes run data-parallel. Each node is
       // claimed by exactly one worker, so node memories and the per-node
@@ -363,6 +383,7 @@ void ReteNetwork::DrainWaves() {
         if (states_.at(node).owned) wave_scratch_.push_back(node);
       }
       if (wave_scratch_.size() > 1) {
+        ++parallel_waves_dispatched_;
         pool_->Run(wave_scratch_.size(), [this](size_t i) {
           ReteNode* node = wave_scratch_[i];
           DeliverPending(node, states_.at(node));

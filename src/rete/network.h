@@ -151,6 +151,24 @@ class ReteNetwork : public GraphListener, private EmitSink {
   }
   size_t consolidation_cutoff() const { return consolidation_cutoff_; }
 
+  /// Minimum total queued entries a wave must carry before it is handed to
+  /// the worker pool; smaller waves run inline on the draining thread (see
+  /// NetworkOptions::parallel_min_wave_entries). Results are bit-identical
+  /// either way — the barrier merge runs in ready order regardless.
+  void set_parallel_min_wave_entries(size_t entries) {
+    parallel_min_wave_entries_ = entries;
+  }
+  size_t parallel_min_wave_entries() const {
+    return parallel_min_wave_entries_;
+  }
+
+  /// Lifetime count of waves actually dispatched to the worker pool —
+  /// waves the gate kept inline (and every serial-executor wave) do not
+  /// count. Observability for the gate and its tests.
+  int64_t parallel_waves_dispatched() const {
+    return parallel_waves_dispatched_;
+  }
+
   /// Starts maintaining against `graph` (see class comment). Requires a
   /// production node. Attaching while already attached is a no-op, as is
   /// attaching to any graph other than the one the network was first
@@ -306,6 +324,11 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// thread, in ready order — the deterministic merge point of a wave.
   void FlushNode(ReteNode* node, NodeState& state);
 
+  /// Total delta entries queued on the input ports of `ready`'s nodes —
+  /// what a parallel dispatch of the wave would distribute. Feeds the
+  /// work-size gate (set_parallel_min_wave_entries).
+  size_t WaveQueuedEntries(const std::vector<ReteNode*>& ready) const;
+
   /// Drains all queued work level by level until the network is quiescent.
   /// Under kParallel each level's owned nodes are processed concurrently
   /// (phase 1) before the barrier merge (phase 2); results are
@@ -351,6 +374,10 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// Engine-wide pool injected via set_thread_pool (may be null).
   std::shared_ptr<ThreadPool> shared_pool_;
   size_t consolidation_cutoff_ = kDefaultConsolidationCutoff;
+  /// See set_parallel_min_wave_entries; the builder/catalog overwrite this
+  /// from NetworkOptions, so the default only covers hand-wired networks.
+  size_t parallel_min_wave_entries_ = 8;
+  int64_t parallel_waves_dispatched_ = 0;
   /// Scratch for the wave loop: the owned subset of the level being
   /// drained (kept as a member so steady-state waves don't allocate).
   std::vector<ReteNode*> wave_scratch_;

@@ -381,6 +381,7 @@ Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
   network->set_propagation(options.propagation);
   network->set_executor(options.executor, options.num_threads);
   network->set_consolidation_cutoff(options.consolidation_cutoff);
+  network->set_parallel_min_wave_entries(options.parallel_min_wave_entries);
   PGIVM_ASSIGN_OR_RETURN(
       BuiltView view,
       BuildViewInto(network.get(), plan, graph, options, nullptr));

@@ -33,6 +33,15 @@ struct NetworkOptions {
   /// dispatching thread; 0 = the machine's hardware concurrency.
   int num_threads = 0;
 
+  /// Work-size gate for parallel dispatch: a topological wave whose queued
+  /// delta entries total fewer than this runs inline on the draining
+  /// thread instead of being handed to the worker pool — waking workers
+  /// costs more than delivering a near-empty wave (the single-change
+  /// steady state of a serving catalog). 0 dispatches every multi-node
+  /// wave. Purely a performance knob: results are bit-identical for any
+  /// value. Ignored under kSerial / kEager.
+  size_t parallel_min_wave_entries = 8;
+
   /// Delta payloads of this size or fewer bypass sort-based consolidation
   /// for a pairwise fast path (see Consolidate). Identical results for any
   /// value; 0 disables the fast path entirely.

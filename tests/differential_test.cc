@@ -115,6 +115,10 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
   if (param.threads > 1) {
     options.network.executor = ExecutorKind::kParallel;
     options.network.num_threads = param.threads;
+    // The harness exists to race the parallel machinery (and is what the
+    // TSAN job runs), so the work-size gate must not quietly turn small
+    // waves serial here; WaveGating covers the gate's own parity.
+    options.network.parallel_min_wave_entries = 0;
   }
 
   PropertyGraph graph;
@@ -128,9 +132,16 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
   // run the case's executor — an ambient PGIVM_THREADS=1 would silently
   // turn the t2/t8 cases serial — and the reference must really be the
   // serial baseline even under the TSAN job's PGIVM_THREADS=8.
+  //
+  // The reference additionally runs with plan canonicalization *disabled*:
+  // every per-step bit-identity assertion below therefore also proves the
+  // canonical normal form computes exactly what the un-normalized plan
+  // does, across seeds × strategies × thread counts.
   ScopedThreadsEnv no_env(nullptr);
   QueryEngine engine(&graph, options);
-  QueryEngine reference_engine(&graph);
+  EngineOptions reference_options;
+  reference_options.plan.canonicalize = false;
+  QueryEngine reference_engine(&graph, reference_options);
   constexpr size_t kNumQueries =
       sizeof(kHarnessQueries) / sizeof(kHarnessQueries[0]);
   constexpr size_t kUpfront = kNumQueries / 2;

@@ -720,6 +720,97 @@ TEST(WaveExecutor, ForeignPassThroughSurvivesParallelWaves) {
   }
 }
 
+// ---- work-size-aware wave gating -------------------------------------------
+
+/// A prohibitive gate must keep every wave inline (zero pool dispatches)
+/// and a zero gate must dispatch — while both deliver exactly the serial
+/// executor's results. The knob moves only *where* delivery runs.
+TEST(WaveGating, GateDecidesDispatchWithoutChangingResults) {
+  const std::vector<std::string> queries = {
+      "MATCH (a:A)-[r:R]->(b:B) RETURN a, r, b",
+      "MATCH (a:A)-[:R]->(b)-[:S]->(c) RETURN a, b, c",
+      "MATCH (a:A)-[:R]->(b) RETURN b AS t, count(*) AS c, sum(a.x) AS s",
+  };
+
+  ScopedThreadsEnv env(nullptr);
+  PropertyGraph graph;
+  RandomGraphConfig config;
+  config.seed = 6161;
+  RandomGraphGenerator generator(config);
+  generator.Populate(&graph);
+
+  auto parallel_options = [](size_t min_wave_entries) {
+    EngineOptions options;
+    options.network.executor = ExecutorKind::kParallel;
+    options.network.num_threads = 4;
+    options.network.parallel_min_wave_entries = min_wave_entries;
+    return options;
+  };
+  QueryEngine serial_engine(&graph);
+  QueryEngine eager_dispatch_engine(&graph, parallel_options(0));
+  QueryEngine gated_engine(&graph,
+                           parallel_options(1u << 30));  // prohibitive
+  std::vector<std::vector<std::shared_ptr<View>>> views(3);
+  for (const std::string& query : queries) {
+    for (auto* engine :
+         {&serial_engine, &eager_dispatch_engine, &gated_engine}) {
+      size_t slot = engine == &serial_engine          ? 0
+                    : engine == &eager_dispatch_engine ? 1
+                                                       : 2;
+      auto view = engine->Register(query);
+      ASSERT_TRUE(view.ok()) << query << ": " << view.status();
+      views[slot].push_back(*view);
+    }
+  }
+
+  for (int step = 0; step < 30; ++step) {
+    graph.BeginBatch();
+    for (int i = 0; i < 6; ++i) generator.ApplyRandomUpdate(&graph);
+    graph.CommitBatch();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(views[1][q]->Snapshot(), views[0][q]->Snapshot())
+          << queries[q] << " (gate 0) diverged at step " << step;
+      ASSERT_EQ(views[2][q]->Snapshot(), views[0][q]->Snapshot())
+          << queries[q] << " (prohibitive gate) diverged at step " << step;
+    }
+  }
+
+  const ReteNetwork* eager_net =
+      eager_dispatch_engine.catalog().shared_network();
+  const ReteNetwork* gated_net = gated_engine.catalog().shared_network();
+  ASSERT_NE(eager_net, nullptr);
+  ASSERT_NE(gated_net, nullptr);
+  EXPECT_GT(eager_net->parallel_waves_dispatched(), 0)
+      << "gate 0 never reached the pool";
+  EXPECT_EQ(gated_net->parallel_waves_dispatched(), 0)
+      << "prohibitive gate still dispatched";
+  // Emission counts are part of the bit-parity contract.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(views[1][q]->network().TotalEmittedEntries(),
+              views[0][q]->network().TotalEmittedEntries());
+    EXPECT_EQ(views[2][q]->network().TotalEmittedEntries(),
+              views[0][q]->network().TotalEmittedEntries());
+  }
+}
+
+TEST(WaveGating, OptionThreadsThroughEngineAndDefaultsNonZero) {
+  ScopedThreadsEnv env(nullptr);
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(view.ok()) << view.status();
+  // The default gate keeps single-change waves (the steady state this
+  // knob exists for) off the pool.
+  EXPECT_GT((*view)->network().parallel_min_wave_entries(), 0u);
+
+  EngineOptions options;
+  options.network.parallel_min_wave_entries = 123;
+  QueryEngine tuned(&graph, options);
+  auto tuned_view = tuned.Register("MATCH (n:A) RETURN n");
+  ASSERT_TRUE(tuned_view.ok()) << tuned_view.status();
+  EXPECT_EQ((*tuned_view)->network().parallel_min_wave_entries(), 123u);
+}
+
 // ---- consolidation cutoff --------------------------------------------------
 
 TEST(ConsolidationCutoff, SmallPathMatchesSortPathExactly) {
