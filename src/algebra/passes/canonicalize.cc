@@ -15,6 +15,7 @@
 // unchanged. Only intermediate column order and node placement move.
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -191,6 +192,23 @@ class Canonicalizer {
         break;  // kUnit/kDistinct/kLeftOuterJoin carry no commutative payload
     }
     PGIVM_RETURN_IF_ERROR(ComputeSchemaShallow(copy));
+    // An undirected (kBoth) edge scan emits both orientations of every
+    // edge, so swapping its endpoint roles is a pure renaming — the two
+    // spellings bind identical rows (see MirrorUndirectedLeaf). Pin the
+    // orientation to the smaller fingerprint, so `(a)-[e]-(b)` and
+    // `(b)-[e]-(a)` leaves with asymmetric extracts canonicalize — and
+    // therefore share — identically. Symmetric leaves tie here; their
+    // orientation is resolved at the join-region level (CanonJoinRegion),
+    // where the attachment to the neighbors breaks the tie.
+    if (copy->kind == OpKind::kGetEdges &&
+        copy->direction == EdgeDirection::kBoth) {
+      OpPtr mirror = MirrorUndirectedLeaf(*copy);
+      if (mirror != nullptr) {
+        std::string key = CanonicalPlanKey(*copy);
+        std::string mirror_key = CanonicalPlanKey(*mirror);
+        if (CanonicalKeyLess(mirror_key, key)) return mirror;
+      }
+    }
     return copy;
   }
 
@@ -403,6 +421,53 @@ class Canonicalizer {
       leaves.push_back({std::move(canon), std::move(key), std::string(), i});
     }
 
+    // Undirected leaves whose two orientations fingerprint identically
+    // (CanonDefault could not pin them) still render the *region*
+    // differently — which endpoint joins which neighbor moves the join
+    // signatures. No alias-free criterion ranks the orientations up
+    // front, so enumerate: rebuild the region for every assignment over
+    // the ambiguous leaves and keep the smallest rendering. Regions have
+    // at most a handful of undirected edges; the enumeration is capped
+    // (leaves beyond the cap keep their given orientation) so the worst
+    // case stays at 2^4 rebuilds of one small region.
+    constexpr size_t kMaxAmbiguous = 4;
+    std::vector<std::pair<size_t, OpPtr>> ambiguous;  // leaf index → mirror
+    for (size_t i = 0;
+         i < leaves.size() && ambiguous.size() < kMaxAmbiguous; ++i) {
+      if (leaves[i].key.empty()) continue;  // unshareable: not worth picking
+      OpPtr mirror = MirrorUndirectedLeaf(*leaves[i].op);
+      if (mirror == nullptr) continue;
+      if (CanonicalPlanKey(*mirror) != leaves[i].key) continue;
+      ambiguous.emplace_back(i, std::move(mirror));
+    }
+    if (ambiguous.empty()) {
+      return BuildRegion(std::move(leaves), std::move(conjuncts));
+    }
+    OpPtr best;
+    std::string best_key;
+    for (uint32_t mask = 0; mask < (1u << ambiguous.size()); ++mask) {
+      std::vector<Leaf> attempt = leaves;  // leaf ops are never mutated
+      for (size_t bit = 0; bit < ambiguous.size(); ++bit) {
+        if (mask & (1u << bit)) {
+          attempt[ambiguous[bit].first].op = ambiguous[bit].second;
+        }
+      }
+      PGIVM_ASSIGN_OR_RETURN(OpPtr candidate,
+                             BuildRegion(std::move(attempt), conjuncts));
+      std::string key = CanonicalPlanKey(*candidate);
+      if (best == nullptr || CanonicalKeyLess(key, best_key)) {
+        best = std::move(candidate);
+        best_key = std::move(key);
+      }
+    }
+    return best;
+  }
+
+  /// Rebuilds one join region from its canonicalized leaves and conjunct
+  /// multiset: canonical leaf order, conjuncts re-pushed to their deepest
+  /// binding site, left-deep kJoin chain.
+  Result<OpPtr> BuildRegion(std::vector<Leaf> leaves,
+                            std::vector<ExprPtr> conjuncts) {
     std::vector<Schema> prefix;
     prefix.reserve(leaves.size());
     std::vector<size_t> order = OrderLeaves(leaves, &prefix);

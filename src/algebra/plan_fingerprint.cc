@@ -614,4 +614,30 @@ std::string FormatFingerprint(const std::string& key) {
   return out;
 }
 
+OpPtr MirrorUndirectedLeaf(const LogicalOp& op) {
+  if (op.kind != OpKind::kGetEdges || !op.children.empty() ||
+      op.direction != EdgeDirection::kBoth) {
+    return nullptr;
+  }
+  auto mirror = std::make_shared<LogicalOp>(op);
+  std::swap(mirror->src_var, mirror->dst_var);
+  // Extract roles flipped with the swap; restore the canonical
+  // (role, what, key) order the canonicalize pass sorts leaves into —
+  // property pushdown dedups accesses, so the triple is unique per leaf.
+  auto role = [&mirror](const PropertyExtract& e) {
+    if (e.element_var == mirror->src_var) return 0;
+    if (e.element_var == mirror->edge_var) return 1;
+    if (e.element_var == mirror->dst_var) return 2;
+    return 3;
+  };
+  std::sort(mirror->extracts.begin(), mirror->extracts.end(),
+            [&role](const PropertyExtract& a, const PropertyExtract& b) {
+              if (role(a) != role(b)) return role(a) < role(b);
+              if (a.what != b.what) return a.what < b.what;
+              return a.key < b.key;
+            });
+  if (!ComputeSchemaShallow(mirror).ok()) return nullptr;
+  return mirror;
+}
+
 }  // namespace pgivm

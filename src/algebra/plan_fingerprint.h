@@ -63,6 +63,20 @@ uint64_t FingerprintHash(const std::string& key);
 /// FingerprintHash, or "fp=-" for the empty (unshareable) key.
 std::string FormatFingerprint(const std::string& key);
 
+/// The mirrored spelling of an undirected edge leaf: a copy of `op` with
+/// src_var and dst_var swapped, extracts re-sorted into the canonical
+/// (role, what, key) order and the schema recomputed. An undirected
+/// (kBoth) scan emits both orientations of every edge, so the mirror binds
+/// the *same* set of rows — swapping the endpoint roles is a pure renaming
+/// of the leaf's internals, and the canonicalizer is free to pick
+/// whichever of the two spellings fingerprints smaller (or, when the two
+/// keys tie, whichever orientation renders the enclosing join region
+/// smaller). Returns nullptr when `op` is not a childless kBoth kGetEdges
+/// leaf. Lives next to the fingerprint because the choice must agree with
+/// its rendering: the mirror is "the other spelling of the same key
+/// space", not a semantic rewrite.
+OpPtr MirrorUndirectedLeaf(const LogicalOp& op);
+
 }  // namespace pgivm
 
 #endif  // PGIVM_ALGEBRA_PLAN_FINGERPRINT_H_

@@ -75,6 +75,7 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
           network_options_.consolidation_cutoff);
       network_->set_parallel_min_wave_entries(
           network_options_.parallel_min_wave_entries);
+      network_->set_epoch_retention(network_options_.epoch_retention);
       network_->set_thread_pool(EnginePool());
     }
     Result<BuiltView> built = BuildViewInto(network_.get(), view->fra_,

@@ -82,10 +82,13 @@ struct CatalogStats {
 /// observers of existing views see no spurious deltas. `last_prime_stats`
 /// reports the replayed-vs-graph-primed split of the most recent Install.
 ///
-/// Thread-safety: none — the catalog mutates under Register/Deregister and
+/// Thread-safety: the catalog's own API (Install/Deregister/Stats/...)
 /// must be driven from the thread that owns the engine and applies graph
 /// deltas (the wave executor parallelizes *inside* a propagation drain,
-/// never across API calls).
+/// never across API calls). The *views* it hands out are different:
+/// View::Pin/Snapshot/results/size read epoch-published immutable state
+/// and are safe from any thread, concurrently with drains and even with
+/// sibling registrations — see the View thread-safety contract.
 ///
 /// Lifetime: the catalog is shared between its QueryEngine and every View
 /// handed out, so views stay valid after the engine is destroyed. The graph

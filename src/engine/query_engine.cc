@@ -1,14 +1,93 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "algebra/compiler.h"
 #include "algebra/plan_printer.h"
 #include "baseline/baseline_evaluator.h"
 #include "cypher/parser.h"
+#include "support/bounded_queue.h"
 #include "support/string_util.h"
 
 namespace pgivm {
+
+/// Queue, thread and counters of one ingest session. The counters are
+/// atomics so the owning thread can read them (ingest_mutations/batches)
+/// while the ingest thread advances them.
+struct QueryEngine::Ingest {
+  explicit Ingest(size_t depth) : queue(depth) {}
+
+  BoundedQueue<GraphMutation> queue;
+  std::thread thread;
+  std::atomic<int64_t> mutations{0};
+  std::atomic<int64_t> batches{0};
+};
+
+QueryEngine::QueryEngine(PropertyGraph* graph, EngineOptions options)
+    : graph_(graph),
+      options_(std::move(options)),
+      catalog_(ViewCatalog::Create(graph, options_.network,
+                                   options_.catalog)) {}
+
+QueryEngine::~QueryEngine() { StopIngest(); }
+
+void QueryEngine::StartIngest() {
+  if (ingest_ != nullptr) return;
+  size_t depth = options_.ingest_queue_depth < 1 ? 1
+                                                 : options_.ingest_queue_depth;
+  ingest_ = std::make_unique<Ingest>(depth);
+  Ingest* ingest = ingest_.get();
+  PropertyGraph* graph = graph_;
+  ingest->thread = std::thread([ingest, graph] {
+    std::vector<GraphMutation> batch;
+    // PopAll blocks until work arrives and hands over *everything* queued:
+    // submissions that piled up while the previous batch propagated are
+    // coalesced into one graph delta — one drain, one committed epoch —
+    // instead of one drain each.
+    while (ingest->queue.PopAll(batch) > 0) {
+      graph->BeginBatch();
+      for (GraphMutation& mutation : batch) mutation(*graph);
+      graph->CommitBatch();
+      ingest->mutations.fetch_add(static_cast<int64_t>(batch.size()),
+                                  std::memory_order_relaxed);
+      ingest->batches.fetch_add(1, std::memory_order_relaxed);
+      batch.clear();
+    }
+  });
+}
+
+void QueryEngine::StopIngest() {
+  if (ingest_ == nullptr) return;
+  ingest_->queue.Close();  // drains what is queued, then the loop exits
+  if (ingest_->thread.joinable()) ingest_->thread.join();
+  ingest_mutations_done_ +=
+      ingest_->mutations.load(std::memory_order_relaxed);
+  ingest_batches_done_ += ingest_->batches.load(std::memory_order_relaxed);
+  ingest_.reset();
+}
+
+bool QueryEngine::SubmitAsync(GraphMutation mutation) {
+  if (ingest_ == nullptr || mutation == nullptr) return false;
+  return ingest_->queue.Push(std::move(mutation));
+}
+
+int64_t QueryEngine::ingest_mutations() const {
+  int64_t live = ingest_ == nullptr
+                     ? 0
+                     : ingest_->mutations.load(std::memory_order_relaxed);
+  return ingest_mutations_done_ + live;
+}
+
+int64_t QueryEngine::ingest_batches() const {
+  int64_t live = ingest_ == nullptr
+                     ? 0
+                     : ingest_->batches.load(std::memory_order_relaxed);
+  return ingest_batches_done_ + live;
+}
 
 namespace {
 

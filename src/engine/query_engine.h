@@ -1,6 +1,8 @@
 #ifndef PGIVM_ENGINE_QUERY_ENGINE_H_
 #define PGIVM_ENGINE_QUERY_ENGINE_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -21,6 +23,12 @@ struct EngineOptions {
   PlanOptions plan;
   NetworkOptions network;
   CatalogOptions catalog;
+
+  /// Capacity of the serving ingest queue (see QueryEngine::SubmitAsync):
+  /// mutations queued beyond this block their submitter until the ingest
+  /// thread catches up — bounded-queue backpressure instead of unbounded
+  /// buffering. Values below 1 are clamped to 1.
+  size_t ingest_queue_depth = 256;
 };
 
 /// Front door of the library: compiles openCypher queries and keeps their
@@ -42,11 +50,15 @@ struct EngineOptions {
 /// alive, so they outlive the engine safely.
 class QueryEngine {
  public:
-  explicit QueryEngine(PropertyGraph* graph, EngineOptions options = {})
-      : graph_(graph),
-        options_(std::move(options)),
-        catalog_(ViewCatalog::Create(graph, options_.network,
-                                     options_.catalog)) {}
+  // Constructor and destructor are out of line: the ingest session member
+  // is an incomplete type here.
+  explicit QueryEngine(PropertyGraph* graph, EngineOptions options = {});
+
+  /// Stops a running ingest session.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Compiles `cypher` through the paper's pipeline (parse → GRA → NRA →
   /// FRA → Rete) and attaches the resulting view to the graph, priming it
@@ -71,6 +83,42 @@ class QueryEngine {
   Result<std::string> Explain(std::string_view cypher,
                               const ValueMap& parameters = {}) const;
 
+  /// One graph mutation submitted through the ingest queue; runs on the
+  /// ingest thread, inside a BeginBatch/CommitBatch bracket, against the
+  /// engine's graph.
+  using GraphMutation = std::function<void(PropertyGraph&)>;
+
+  /// Starts the serving ingest thread: mutations submitted via
+  /// SubmitAsync — from any number of threads — are coalesced into
+  /// batches (everything queued when the thread comes around) and each
+  /// batch is applied under one BeginBatch/CommitBatch, i.e. one graph
+  /// delta, one propagation drain, one committed epoch. While ingest is
+  /// running the ingest thread *is* the writer thread: the caller must
+  /// not mutate the graph or register/deregister views directly until
+  /// StopIngest() returns. Readers (View::Pin/Snapshot/size) are
+  /// unaffected and free on any thread. No-op if already running.
+  void StartIngest();
+
+  /// Closes the queue, applies whatever is still queued, and joins the
+  /// ingest thread. After it returns the calling thread is the writer
+  /// thread again. No-op if not running. Called from the destructor.
+  void StopIngest();
+
+  bool ingest_running() const { return ingest_ != nullptr; }
+
+  /// Queues `mutation` for the ingest thread, blocking while the queue is
+  /// at EngineOptions::ingest_queue_depth (backpressure). Safe from any
+  /// number of threads *within* an ingest session; submitters must be
+  /// quiesced (joined or otherwise done) before StopIngest() or engine
+  /// destruction tears the session down. Returns false — without running
+  /// the mutation — when ingest is not running or is shutting down.
+  bool SubmitAsync(GraphMutation mutation);
+
+  /// Lifetime counts across ingest sessions: mutations applied, and the
+  /// BeginBatch/CommitBatch batches they were coalesced into.
+  int64_t ingest_mutations() const;
+  int64_t ingest_batches() const;
+
   PropertyGraph* graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
@@ -80,9 +128,17 @@ class QueryEngine {
   const ViewCatalog& catalog() const { return *catalog_; }
 
  private:
+  /// Live ingest state (queue + thread + counters); null while not
+  /// serving. Defined in query_engine.cc.
+  struct Ingest;
+
   PropertyGraph* graph_;
   EngineOptions options_;
   std::shared_ptr<ViewCatalog> catalog_;
+  std::unique_ptr<Ingest> ingest_;
+  /// Counter totals of finished ingest sessions (accumulated at Stop).
+  int64_t ingest_mutations_done_ = 0;
+  int64_t ingest_batches_done_ = 0;
 };
 
 }  // namespace pgivm

@@ -1,6 +1,9 @@
 #include "engine/view.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 #include "catalog/view_catalog.h"
 
@@ -9,24 +12,38 @@ namespace pgivm {
 View::~View() {
   if (catalog_) catalog_->Deregister(this);
   // An owned (unshared-mode) network detaches in its own destructor.
+  // ViewSnapshots readers pinned stay valid: they own their epoch.
 }
 
-std::vector<Tuple> View::Snapshot() const {
-  uint64_t version = production_->version();
-  if (!snapshot_valid_ || snapshot_version_ != version) {
-    std::vector<Tuple> rows = production_->SortedSnapshot();
-    if (skip_ > 0) {
-      size_t drop = std::min<size_t>(static_cast<size_t>(skip_), rows.size());
-      rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(drop));
-    }
-    if (limit_ >= 0 && rows.size() > static_cast<size_t>(limit_)) {
-      rows.resize(static_cast<size_t>(limit_));
-    }
-    snapshot_cache_ = std::move(rows);
-    snapshot_version_ = version;
-    snapshot_valid_ = true;
+std::shared_ptr<const ViewSnapshot> View::Pin() const {
+  ProductionNode::EpochPtr epoch = production_->PinSnapshot();
+  std::shared_ptr<const ViewSnapshot> cached =
+      std::atomic_load_explicit(&cache_, std::memory_order_acquire);
+  if (cached != nullptr && cached->source_ == epoch) return cached;
+
+  // First reader of this epoch (or a racing peer — benign, see header):
+  // build the immutable rendering and swap it in for later pins.
+  auto built = std::make_shared<ViewSnapshot>();
+  std::vector<Tuple> rows = ProductionNode::SortedRows(epoch->results);
+  if (skip_ > 0) {
+    size_t drop = std::min<size_t>(static_cast<size_t>(skip_), rows.size());
+    rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(drop));
   }
-  return snapshot_cache_;
+  if (limit_ >= 0 && rows.size() > static_cast<size_t>(limit_)) {
+    rows.resize(static_cast<size_t>(limit_));
+  }
+  built->source_ = std::move(epoch);
+  built->rows_ = std::move(rows);
+  std::shared_ptr<const ViewSnapshot> result = std::move(built);
+  std::atomic_store_explicit(&cache_, result, std::memory_order_release);
+  return result;
+}
+
+std::shared_ptr<const Bag> View::results() const {
+  ProductionNode::EpochPtr epoch = production_->PinSnapshot();
+  const Bag* bag = &epoch->results;
+  // Aliasing constructor: the returned pointer keeps the whole epoch alive.
+  return std::shared_ptr<const Bag>(std::move(epoch), bag);
 }
 
 size_t View::ApproxMemoryBytes() const {

@@ -13,6 +13,31 @@ namespace pgivm {
 
 class ViewCatalog;
 
+/// An immutable, pinned view state: one committed epoch's result bag plus
+/// its presentation rendering (multiplicities expanded, sorted, the view's
+/// SKIP/LIMIT applied). Obtained from View::Pin(); safe to read from any
+/// thread and valid for as long as the shared_ptr is held — later commits
+/// never mutate it, they publish new epochs.
+class ViewSnapshot {
+ public:
+  /// The network commit epoch this state was published at.
+  uint64_t epoch() const { return source_->epoch; }
+
+  /// Rows with multiplicities expanded, sorted, SKIP/LIMIT applied.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// The committed bag (tuple -> multiplicity), before SKIP/LIMIT.
+  const Bag& bag() const { return source_->results; }
+
+  /// Total result rows (with duplicates), before SKIP/LIMIT.
+  int64_t total_rows() const { return source_->results.total_count(); }
+
+ private:
+  friend class View;
+  ProductionNode::EpochPtr source_;
+  std::vector<Tuple> rows_;
+};
+
 /// A live, incrementally maintained query result.
 ///
 /// Obtained from QueryEngine::Register. The view stays consistent with its
@@ -32,14 +57,25 @@ class ViewCatalog;
 /// Ordering note (the paper's ORD restriction): the maintained result is a
 /// bag — no order is maintained. Snapshot() sorts rows only for
 /// presentation/determinism and applies the query's SKIP/LIMIT at that
-/// moment; the sorted rows are cached and reused until the production
-/// signals a change (its version counter moves), so polling an unchanged
-/// view is O(copy), not O(n log n).
+/// moment; the sorted rendering is built once per committed epoch and
+/// cached as an immutable ViewSnapshot, so polling an unchanged view is
+/// O(copy), not O(n log n).
 ///
-/// Thread-safety: read the view from the thread that applies graph deltas
-/// (reads between deltas see a consistent, current bag; nothing locks).
-/// Listener callbacks run on that same thread — during parallel waves
-/// they are deferred to the wave barrier, never concurrent.
+/// Thread-safety: Pin()/Snapshot()/results()/size() are safe from any
+/// number of reader threads, concurrently with a drain propagating on the
+/// writer thread, and never block it — the network publishes an immutable
+/// PublishedEpoch per production at every commit (the wave barrier of a
+/// batched drain, the end of an eager cascade), and readers pin the last
+/// published epoch with an atomic shared_ptr swap. A pinned ViewSnapshot
+/// is frozen: it reflects exactly one committed epoch, mid-drain states
+/// are never observable, and it stays valid after the View (or the whole
+/// engine) is destroyed. Readers racing a commit see either the previous
+/// epoch or the new one, never a torn mix.
+///
+/// Everything else — Register/Deregister, applying graph deltas,
+/// AddListener/RemoveListener, the diagnostics accessors — remains
+/// writer-thread-only. Listener callbacks run on the writer thread; during
+/// parallel waves they are deferred to the wave barrier, never concurrent.
 ///
 /// Lifecycle: destroying the View deregisters it from the catalog
 /// (refcounted under sharing). The View keeps its catalog — and with it
@@ -55,14 +91,25 @@ class View {
   /// Output column names, in RETURN order.
   const std::vector<std::string>& column_names() const { return columns_; }
 
-  /// Current rows, multiplicities expanded, sorted, SKIP/LIMIT applied.
-  std::vector<Tuple> Snapshot() const;
+  /// Pins the last committed epoch as an immutable snapshot: the result
+  /// bag plus its sorted/SKIP/LIMIT rendering. Safe from any thread (see
+  /// the thread-safety contract above). The rendering is built at most
+  /// once per epoch — concurrent first-readers may build it redundantly
+  /// (benign: identical immutable objects, last store wins), after which
+  /// every Pin() of the same epoch returns the cached object.
+  std::shared_ptr<const ViewSnapshot> Pin() const;
 
-  /// The maintained bag itself (tuple -> multiplicity), unsorted.
-  const Bag& results() const { return production_->results(); }
+  /// Current rows, multiplicities expanded, sorted, SKIP/LIMIT applied —
+  /// a copy of Pin()->rows(). Safe from any thread.
+  std::vector<Tuple> Snapshot() const { return Pin()->rows(); }
 
-  /// Total number of result rows (with duplicates).
-  int64_t size() const { return results().total_count(); }
+  /// The last committed bag (tuple -> multiplicity), unsorted, pinned so
+  /// it stays valid while the pointer is held. Safe from any thread.
+  std::shared_ptr<const Bag> results() const;
+
+  /// Total number of result rows (with duplicates) at the last committed
+  /// epoch. Safe from any thread; does not build the sorted rendering.
+  int64_t size() const { return production_->PinSnapshot()->results.total_count(); }
 
   /// Change notifications; listeners receive normalized deltas.
   void AddListener(ViewChangeListener* listener) {
@@ -131,10 +178,10 @@ class View {
   /// Replayed-vs-graph-primed accounting of this view's registration.
   ReteNetwork::PrimeStats prime_stats_;
 
-  /// Snapshot() cache, valid while the production's version is unchanged.
-  mutable std::vector<Tuple> snapshot_cache_;
-  mutable uint64_t snapshot_version_ = 0;
-  mutable bool snapshot_valid_ = false;
+  /// Pin()'s per-epoch cache: the immutable ViewSnapshot built for the
+  /// most recently pinned epoch. Accessed only via atomic_load /
+  /// atomic_store (any thread may read or refresh it).
+  mutable std::shared_ptr<const ViewSnapshot> cache_;
 };
 
 }  // namespace pgivm

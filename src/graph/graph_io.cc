@@ -1,6 +1,7 @@
 #include "graph/graph_io.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 #include <unordered_map>
@@ -201,10 +202,33 @@ class ValueParser {
           StrCat("expected a value at offset ", start));
     }
     std::string token(text_.substr(start, pos_ - start));
+    // strtoll/strtod with a null end pointer would turn an unparseable
+    // token ("-", "1e", "1.2.3") into Int(0)/garbage silently — a corrupt
+    // input file must surface as a load error, not as a wrong value.
+    errno = 0;
+    char* end = nullptr;
     if (is_double) {
-      return Value::Double(std::strtod(token.c_str(), nullptr));
+      double parsed = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size() || end == token.c_str()) {
+        return Status::InvalidArgument(
+            StrCat("malformed number \"", token, "\" at offset ", start));
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument(
+            StrCat("number \"", token, "\" out of range at offset ", start));
+      }
+      return Value::Double(parsed);
     }
-    return Value::Int(std::strtoll(token.c_str(), nullptr, 10));
+    long long parsed = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || end == token.c_str()) {
+      return Status::InvalidArgument(
+          StrCat("malformed number \"", token, "\" at offset ", start));
+    }
+    if (errno == ERANGE) {
+      return Status::InvalidArgument(
+          StrCat("integer \"", token, "\" out of range at offset ", start));
+    }
+    return Value::Int(parsed);
   }
 
   Result<Value> ParseList() {

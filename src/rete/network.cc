@@ -137,7 +137,11 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   for (const auto& node : nodes_) node->EmitInitial();
   for (GraphSourceNode* source : sources_) source->EmitInitialFromGraph();
   buffering_ = false;
-  if (batched) DrainWaves();
+  if (batched) {
+    DrainWaves();  // publishes the primed state as a commit epoch
+  } else {
+    PublishEpochs();
+  }
   for (ProductionNode* production : productions_) {
     production->set_notify_listeners(true);
   }
@@ -207,7 +211,11 @@ void ReteNetwork::OnGraphDelta(const GraphDelta& delta) {
     }
   }
   buffering_ = false;
-  if (propagation_ == PropagationStrategy::kBatched) DrainWaves();
+  if (propagation_ == PropagationStrategy::kBatched) {
+    DrainWaves();  // publishes the commit epoch at its end
+  } else {
+    PublishEpochs();  // eager cascade already ran to quiescence
+  }
 }
 
 void ReteNetwork::OnEmit(ReteNode* from, Delta delta) {
@@ -420,6 +428,15 @@ void ReteNetwork::DrainWaves() {
     }
   }
   draining_ = false;
+  // The network is quiescent and every result bag is consistent: commit.
+  PublishEpochs();
+}
+
+void ReteNetwork::PublishEpochs() {
+  ++commit_epoch_;
+  for (ProductionNode* production : productions_) {
+    production->PublishSnapshot(commit_epoch_, epoch_retention_);
+  }
 }
 
 namespace {
@@ -590,7 +607,11 @@ ReteNetwork::PrimeStats ReteNetwork::PrimeNewNodes(
     }
   }
   buffering_ = false;
-  if (batched) DrainWaves();
+  if (batched) {
+    DrainWaves();  // publishes the newly primed view's first epoch
+  } else {
+    PublishEpochs();
+  }
   for (ProductionNode* production : productions_) {
     production->set_notify_listeners(true);
   }

@@ -169,6 +169,19 @@ class ReteNetwork : public GraphListener, private EmitSink {
     return parallel_waves_dispatched_;
   }
 
+  /// How many *previous* published epochs each production keeps alive in
+  /// addition to its current one (see ProductionNode::PublishSnapshot).
+  /// 0 (the default) retires an epoch as soon as the last reader unpins
+  /// it. Purely a retention knob — readers always pin the latest commit.
+  void set_epoch_retention(size_t epochs) { epoch_retention_ = epochs; }
+  size_t epoch_retention() const { return epoch_retention_; }
+
+  /// The number of commit points this network has published: every drain /
+  /// eager cascade / prime bumps it once and re-publishes each production
+  /// whose results changed. Written on the writer thread only; readers
+  /// learn epochs from the PublishedEpoch objects they pin, not from here.
+  uint64_t commit_epoch() const { return commit_epoch_; }
+
   /// Starts maintaining against `graph` (see class comment). Requires a
   /// production node. Attaching while already attached is a no-op, as is
   /// attaching to any graph other than the one the network was first
@@ -335,6 +348,14 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// bit-identical to serial draining.
   void DrainWaves();
 
+  /// Commits the current state for concurrent readers: bumps
+  /// commit_epoch_ and has every production publish an immutable snapshot
+  /// (ProductionNode::PublishSnapshot — a copy only where results
+  /// changed). Runs on the writer thread at the end of every drain and of
+  /// every eager cascade/prime, i.e. exactly when the network is
+  /// quiescent and the bags are consistent.
+  void PublishEpochs();
+
   /// (upstream, port) inputs per node, derived from the output wiring —
   /// the reverse edges ReplayOutput reconstruction walks for stateless
   /// nodes. Built on demand (only when a replay chain crosses one) and
@@ -374,6 +395,9 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// Engine-wide pool injected via set_thread_pool (may be null).
   std::shared_ptr<ThreadPool> shared_pool_;
   size_t consolidation_cutoff_ = kDefaultConsolidationCutoff;
+  /// See set_epoch_retention / PublishEpochs.
+  size_t epoch_retention_ = 0;
+  uint64_t commit_epoch_ = 0;
   /// See set_parallel_min_wave_entries; the builder/catalog overwrite this
   /// from NetworkOptions, so the default only covers hand-wired networks.
   size_t parallel_min_wave_entries_ = 8;

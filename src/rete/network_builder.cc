@@ -1,7 +1,10 @@
 #include "rete/network_builder.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "catalog/node_registry.h"
 #include "rete/aggregate_node.h"
@@ -358,9 +361,25 @@ Result<BuiltView> BuildViewInto(ReteNetwork* network, const OpPtr& plan,
 NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options) {
   const char* env = std::getenv("PGIVM_THREADS");
   if (env == nullptr || *env == '\0') return options;
+  // A malformed value must not silently resolve to some other thread
+  // count ("8abc" is not 8; 99999999999 is not whatever it truncates to
+  // in int) — warn and leave the configured options untouched.
+  errno = 0;
   char* end = nullptr;
   long threads = std::strtol(env, &end, 10);
-  if (end == env) return options;  // not a number: ignore
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "pgivm: ignoring PGIVM_THREADS=\"%s\" (not an integer)\n",
+                 env);
+    return options;
+  }
+  if (errno == ERANGE || threads > std::numeric_limits<int>::max() ||
+      threads < std::numeric_limits<int>::min()) {
+    std::fprintf(stderr,
+                 "pgivm: ignoring PGIVM_THREADS=\"%s\" (out of range)\n",
+                 env);
+    return options;
+  }
   if (threads > 1) {
     options.executor = ExecutorKind::kParallel;
     options.num_threads = static_cast<int>(threads);
@@ -382,6 +401,7 @@ Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
   network->set_executor(options.executor, options.num_threads);
   network->set_consolidation_cutoff(options.consolidation_cutoff);
   network->set_parallel_min_wave_entries(options.parallel_min_wave_entries);
+  network->set_epoch_retention(options.epoch_retention);
   PGIVM_ASSIGN_OR_RETURN(
       BuiltView view,
       BuildViewInto(network.get(), plan, graph, options, nullptr));

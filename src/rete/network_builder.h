@@ -46,12 +46,21 @@ struct NetworkOptions {
   /// for a pairwise fast path (see Consolidate). Identical results for any
   /// value; 0 disables the fast path entirely.
   size_t consolidation_cutoff = kDefaultConsolidationCutoff;
+
+  /// How many *previous* committed epochs each production keeps alive for
+  /// concurrent readers, in addition to the current one (see
+  /// ReteNetwork::set_epoch_retention). 0 retires an epoch as soon as the
+  /// last reader unpins it.
+  size_t epoch_retention = 0;
 };
 
 /// Returns `options` with the `PGIVM_THREADS` environment override applied:
 /// when the variable is set to an integer n, n > 1 forces
 /// ExecutorKind::kParallel with n threads and n <= 1 forces kSerial —
-/// regardless of what the options said. This is the operator-level escape
+/// regardless of what the options said. A value that is not entirely an
+/// integer ("8abc", "abc", "") or does not fit in int is *rejected* with a
+/// stderr warning and the options pass through unchanged — a typo must not
+/// silently pick some other thread count. This is the operator-level escape
 /// hatch (and how CI runs the whole suite under a parallel executor). It
 /// is applied exactly once per engine, at ViewCatalog::Create, so every
 /// network the engine ever creates — shared or per-view, registered at any

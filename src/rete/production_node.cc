@@ -1,6 +1,9 @@
 #include "rete/production_node.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 namespace pgivm {
 
@@ -44,16 +47,40 @@ void ProductionNode::OnWaveBarrier() {
   deferred_notifications_.clear();
 }
 
-std::vector<Tuple> ProductionNode::SortedSnapshot() const {
+void ProductionNode::PublishSnapshot(uint64_t epoch, size_t retention) {
+  if (published_version_ == version_) return;  // unchanged since last commit
+  auto next = std::make_shared<PublishedEpoch>();
+  next->epoch = epoch;
+  next->version = version_;
+  next->results = results_;
+  published_version_ = version_;
+  if (retention > 0) {
+    retained_.push_back(
+        std::atomic_load_explicit(&published_, std::memory_order_relaxed));
+    while (retained_.size() > retention) retained_.pop_front();
+  }
+  std::atomic_store_explicit(&published_, EpochPtr(std::move(next)),
+                             std::memory_order_release);
+}
+
+ProductionNode::EpochPtr ProductionNode::PinSnapshot() const {
+  return std::atomic_load_explicit(&published_, std::memory_order_acquire);
+}
+
+std::vector<Tuple> ProductionNode::SortedRows(const Bag& bag) {
   std::vector<Tuple> rows;
-  rows.reserve(static_cast<size_t>(results_.total_count()));
-  for (const auto& [tuple, count] : results_.counts()) {
+  rows.reserve(static_cast<size_t>(bag.total_count()));
+  for (const auto& [tuple, count] : bag.counts()) {
     for (int64_t i = 0; i < count; ++i) rows.push_back(tuple);
   }
   std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
     return Tuple::Compare(a, b) < 0;
   });
   return rows;
+}
+
+std::vector<Tuple> ProductionNode::SortedSnapshot() const {
+  return SortedRows(results_);
 }
 
 void ProductionNode::RemoveListener(ViewChangeListener* listener) {

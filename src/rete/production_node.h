@@ -2,11 +2,31 @@
 #define PGIVM_RETE_PRODUCTION_NODE_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <vector>
 
 #include "rete/node.h"
 
 namespace pgivm {
+
+/// One committed, immutable result version of a production. Published by
+/// the writer thread at the network's commit points (the wave barrier of a
+/// batched drain; the end of an eager cascade) and pinned by reader threads
+/// via shared_ptr — once a reader holds one, its contents never change and
+/// it stays alive for as long as the reader keeps the pointer, regardless
+/// of how many further epochs the writer commits.
+struct PublishedEpoch {
+  /// The network commit epoch this bag was published at. A production whose
+  /// results did not change at a commit keeps its previous epoch object —
+  /// the bag still equals the committed state, just published earlier.
+  uint64_t epoch = 0;
+  /// The production's change counter (ProductionNode::version) the bag
+  /// reflects.
+  uint64_t version = 0;
+  /// The result bag, frozen at the commit.
+  Bag results;
+};
 
 /// Observer of a materialized view's changes. `delta` is normalized (tuples
 /// coalesced, zero entries dropped) and describes the net effect of one
@@ -19,9 +39,19 @@ class ViewChangeListener {
 
 /// Network root: materializes the result bag of the view and fans change
 /// notifications out to listeners. Snapshot() exposes the current rows.
+///
+/// Concurrent readers: the live `results_` bag is writer-thread-only, but
+/// every commit publishes an immutable PublishedEpoch that any thread may
+/// pin via PinSnapshot() — see the epoch members at the bottom.
 class ProductionNode : public ReteNode {
  public:
-  explicit ProductionNode(Schema schema) : ReteNode(std::move(schema)) {}
+  using EpochPtr = std::shared_ptr<const PublishedEpoch>;
+
+  explicit ProductionNode(Schema schema) : ReteNode(std::move(schema)) {
+    // Readers may pin before the network ever commits (e.g. a view handle
+    // handed out mid-registration); they see the empty bag, never null.
+    published_ = std::make_shared<const PublishedEpoch>();
+  }
 
   void OnDelta(int port, const Delta& delta) override;
 
@@ -74,8 +104,32 @@ class ProductionNode : public ReteNode {
   /// sequences and final snapshots are identical either way.
   void set_defer_notifications(bool on) { defer_notifications_ = on; }
 
+  /// Publishes the current result bag as the committed state of `epoch`.
+  /// Called by the owning network, on the writer thread, at every commit
+  /// point (after a drain / eager cascade / prime). When the results did
+  /// not change since the last publish the previous epoch object is kept
+  /// (no copy — it already equals the committed state); otherwise the bag
+  /// is copied into a fresh immutable PublishedEpoch and swapped in.
+  ///
+  /// `retention` previous epoch objects are kept alive in addition to the
+  /// current one, so a reader re-pinning within a short window can still
+  /// compare against recent history; beyond that, an epoch lives exactly
+  /// as long as some reader pins it (shared_ptr refcount retires it).
+  void PublishSnapshot(uint64_t epoch, size_t retention);
+
+  /// Pins the last published epoch. Safe to call from any thread, at any
+  /// time, concurrently with a drain on the writer thread — publication is
+  /// an atomic pointer swap of a fully built object, so readers see either
+  /// the previous commit or the new one, never a torn state. Never null.
+  EpochPtr PinSnapshot() const;
+
   /// Rows with multiplicities expanded, sorted for determinism.
   std::vector<Tuple> SortedSnapshot() const;
+
+  /// `bag`'s rows with multiplicities expanded, sorted by Tuple::Compare —
+  /// the deterministic rendering Snapshot()/SortedSnapshot() use. Static so
+  /// readers can render a pinned epoch's bag without touching the node.
+  static std::vector<Tuple> SortedRows(const Bag& bag);
 
   void AddListener(ViewChangeListener* listener) {
     listeners_.push_back(listener);
@@ -98,6 +152,17 @@ class ProductionNode : public ReteNode {
   uint64_t version_ = 0;
   bool notify_listeners_ = true;
   bool defer_notifications_ = false;
+
+  /// The last published epoch. Written only by the writer thread (via
+  /// atomic_store in PublishSnapshot), read by any thread (atomic_load in
+  /// PinSnapshot) — never accessed non-atomically.
+  EpochPtr published_;
+  /// Writer-side copy of published_->version, so the unchanged-results
+  /// fast path needs no atomic load.
+  uint64_t published_version_ = 0;
+  /// Recent epochs deliberately kept alive (see PublishSnapshot's
+  /// `retention`); writer-thread-only.
+  std::deque<EpochPtr> retained_;
 };
 
 }  // namespace pgivm

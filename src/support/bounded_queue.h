@@ -1,0 +1,92 @@
+#ifndef PGIVM_SUPPORT_BOUNDED_QUEUE_H_
+#define PGIVM_SUPPORT_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pgivm {
+
+/// A bounded multi-producer queue with blocking backpressure, feeding one
+/// consumer that drains in batches.
+///
+/// Producers (any number of threads) Push(); when the queue is at
+/// capacity they block until the consumer makes room — the backpressure
+/// that keeps a burst of submitters from buffering unbounded work. The
+/// consumer PopAll()s everything queued at once, which is what batches
+/// submissions into one propagation drain downstream (QueryEngine's ingest
+/// thread): the faster producers outpace the consumer, the larger the
+/// batches get, instead of the queue growing.
+///
+/// Close() shuts the queue down: blocked producers wake and their Push
+/// fails, the consumer drains what is left and then gets 0.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` below 1 is clamped to 1.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is full. Returns false —
+  /// dropping `item` — if the queue is (or gets) closed instead.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Appends every queued item to `out` and returns how many, blocking
+  /// until at least one is available. Returns 0 only when the queue is
+  /// closed and fully drained — the consumer's termination signal.
+  size_t PopAll(std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    size_t n = items_.size();
+    out.reserve(out.size() + n);
+    for (T& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Shuts the queue down (idempotent); see class comment.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   // producers park here
+  std::condition_variable not_empty_;  // the consumer parks here
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pgivm
+
+#endif  // PGIVM_SUPPORT_BOUNDED_QUEUE_H_

@@ -102,6 +102,32 @@ std::vector<VariantGroup> Groups() {
         "RETURN p, p.lang AS l, p.length AS n",
         "MATCH (p:Post) WHERE p.length > 5 AND p.lang = 'en' "
         "RETURN p, p.lang AS l, p.length AS n"}},
+      // An undirected scan emits both orientations of every edge, so the
+      // two endpoint spellings bind identical rows; the canonicalizer
+      // pins one orientation per leaf. Not byte-identical: the variants
+      // disagree on which variable is src.
+      {"undirected_endpoint_swap",
+       false,
+       {"MATCH (p:Post)-[r:REPLY]-(c:Comm) RETURN p, c",
+        "MATCH (c:Comm)-[r:REPLY]-(p:Post) RETURN p, c"}},
+      // Same with an asymmetric predicate: the extract for p.lang rides
+      // on a different endpoint role in each spelling, which is exactly
+      // the shape that made fingerprint-level orientation merging
+      // unsound — the fix must rewrite the plan, not just the key.
+      {"undirected_endpoint_swap_filtered",
+       false,
+       {"MATCH (p:Post)-[r:REPLY]-(c:Comm) WHERE p.lang = 'en' "
+        "RETURN p, c",
+        "MATCH (c:Comm)-[r:REPLY]-(p:Post) WHERE p.lang = 'en' "
+        "RETURN p, c"}},
+      // Two undirected legs through a shared middle: each leaf picks its
+      // orientation inside the join region.
+      {"undirected_two_hop_swap",
+       false,
+       {"MATCH (a:Person)-[k:KNOWS]-(b:Person), (b)-[l:LIKES]->(m:Post) "
+        "RETURN a, m",
+        "MATCH (b:Person)-[k:KNOWS]-(a:Person), (b)-[l:LIKES]->(m:Post) "
+        "RETURN a, m"}},
   };
 }
 
@@ -231,6 +257,7 @@ TEST_P(CanonicalizeParityTest, SnapshotsMatchUncanonicalizedPlans) {
       "MATCH (a:A) RETURN a AS n UNION MATCH (b:B) RETURN b AS n",
       "MATCH (n:B) UNWIND n.tags AS t RETURN t, count(*) AS c",
       "MATCH (a:A)-[:R*1..3]->(b) RETURN a, b",
+      "MATCH (a:A)-[r:R]-(b) RETURN a, b",
   };
 
   PropertyGraph graph;

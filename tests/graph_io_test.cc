@@ -1,5 +1,8 @@
 #include "graph/graph_io.h"
 
+#include <cstdint>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "engine/query_engine.h"
@@ -52,6 +55,42 @@ TEST(ValueTextTest, MalformedInputsRejected) {
   EXPECT_FALSE(ParseValueText("\"unterminated").ok());
   EXPECT_FALSE(ParseValueText("1 2").ok());
   EXPECT_FALSE(ParseValueText("{k: 1}").ok());  // Unquoted key.
+}
+
+TEST(ValueTextTest, MalformedNumbersRejectedNotZeroed) {
+  // Regression: these used to parse as Int(0)/garbage because the number
+  // scanner never validated strtoll/strtod's end pointer or errno.
+  EXPECT_FALSE(ParseValueText("-").ok());        // Sign with no digits.
+  EXPECT_FALSE(ParseValueText("+").ok());
+  EXPECT_FALSE(ParseValueText("1e").ok());       // Dangling exponent.
+  EXPECT_FALSE(ParseValueText("[1, -]").ok());
+  // Integer overflow surfaces as an error instead of saturating.
+  EXPECT_FALSE(ParseValueText("99999999999999999999999").ok());
+  Result<Value> overflow = ParseValueText("99999999999999999999999");
+  EXPECT_NE(overflow.status().message().find("out of range"),
+            std::string::npos)
+      << overflow.status();
+  // In-range values near the boundary still parse.
+  EXPECT_EQ(ParseValueText("9223372036854775807").value(),
+            Value::Int(9223372036854775807LL));
+  EXPECT_EQ(ParseValueText("-9223372036854775808").value(),
+            Value::Int(INT64_MIN));
+}
+
+TEST(GraphTextTest, MalformedPropertyNumberFailsLoad) {
+  // A malformed numeric literal inside a record's property map must fail
+  // the whole load (previously it silently loaded as Int(0)).
+  PropertyGraph graph;
+  Status bad =
+      ReadGraphText("pgivm-graph 1\nvertex 0 :X {\"w\": -}\n", &graph);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("malformed number"), std::string::npos)
+      << bad;
+  // The well-formed spelling of the same record still loads.
+  PropertyGraph good;
+  ASSERT_TRUE(
+      ReadGraphText("pgivm-graph 1\nvertex 0 :X {\"w\": -1}\n", &good).ok());
+  EXPECT_EQ(good.GetVertexProperty(0, "w"), Value::Int(-1));
 }
 
 TEST(GraphTextTest, EmptyGraphRoundtrip) {

@@ -594,6 +594,39 @@ TEST(WaveExecutor, EnvOverrideWinsOverProgrammaticConfiguration) {
   }
 }
 
+/// Regression: PGIVM_THREADS used to accept trailing garbage ("8abc" read
+/// as 8) and silently saturate out-of-range values. Malformed or
+/// out-of-range settings must now leave the programmatic configuration
+/// untouched; in-range values — including 0 and negatives — still apply.
+TEST(WaveExecutor, EnvOverrideRejectsMalformedValues) {
+  NetworkOptions programmatic;
+  programmatic.executor = ExecutorKind::kParallel;
+  programmatic.num_threads = 3;
+
+  auto with_env = [&programmatic](const char* value) {
+    ScopedThreadsEnv env(value);
+    return ApplyEnvExecutorOverride(programmatic);
+  };
+
+  for (const char* rejected : {"", "abc", "8abc", "99999999999"}) {
+    NetworkOptions applied = with_env(rejected);
+    EXPECT_EQ(applied.executor, ExecutorKind::kParallel)
+        << "PGIVM_THREADS=\"" << rejected << "\"";
+    EXPECT_EQ(applied.num_threads, 3)
+        << "PGIVM_THREADS=\"" << rejected << "\"";
+  }
+
+  for (const char* serial : {"0", "-1", "1"}) {
+    NetworkOptions applied = with_env(serial);
+    EXPECT_EQ(applied.executor, ExecutorKind::kSerial)
+        << "PGIVM_THREADS=\"" << serial << "\"";
+  }
+
+  NetworkOptions applied = with_env("8");
+  EXPECT_EQ(applied.executor, ExecutorKind::kParallel);
+  EXPECT_EQ(applied.num_threads, 8);
+}
+
 /// Drives identical random update streams through a serial and a parallel
 /// engine over the same graph and requires bit-identical snapshots after
 /// every delta — the wave barrier's determinism contract, at the unit
