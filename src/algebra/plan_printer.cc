@@ -18,6 +18,10 @@ void PrintRec(const OpPtr& op, int depth, const PlanPrintOptions& options,
   if (options.fingerprints) {
     os << "  " << FormatFingerprint(CanonicalPlanKey(*op));
   }
+  if (options.annotate) {
+    std::string note = options.annotate(*op);
+    if (!note.empty()) os << "  " << note;
+  }
   os << "\n";
   for (const OpPtr& child : op->children) {
     PrintRec(child, depth + 1, options, os);

@@ -1,6 +1,7 @@
 #ifndef PGIVM_ALGEBRA_PLAN_PRINTER_H_
 #define PGIVM_ALGEBRA_PLAN_PRINTER_H_
 
+#include <functional>
 #include <string>
 
 #include "algebra/operator.h"
@@ -15,6 +16,12 @@ struct PlanPrintOptions {
   /// miss is visible as the first line where the tags diverge. Requires
   /// schemas computed (always true for compiled plans).
   bool fingerprints = false;
+
+  /// Per-operator annotation callback: whatever it returns is appended to
+  /// the operator's line (after the fingerprint tag). EXPLAIN ANALYZE uses
+  /// it to splice live Rete-node statistics into the plan rendering; an
+  /// empty return adds nothing.
+  std::function<std::string(const LogicalOp&)> annotate;
 };
 
 /// Renders the operator tree as an indented multi-line string, one operator

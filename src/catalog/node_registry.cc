@@ -16,6 +16,11 @@ const NodeRegistry::Entry* NodeRegistry::Lookup(const std::string& key) {
   return &it->second;
 }
 
+const NodeRegistry::Entry* NodeRegistry::Find(const std::string& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &it->second;
+}
+
 void NodeRegistry::Insert(const std::string& key, ReteNode* node,
                           std::vector<ReteNode*> support) {
   key_of_root_.emplace(node, key);

@@ -47,6 +47,10 @@ class NodeRegistry {
   /// catalog's sharing statistics.
   const Entry* Lookup(const std::string& key);
 
+  /// Non-counting lookup for diagnostics (ExplainAnalyze resolves plan
+  /// operators to live nodes without skewing the hit/miss statistics).
+  const Entry* Find(const std::string& key) const;
+
   /// Registers a freshly built sub-plan root. `key` must not be present.
   void Insert(const std::string& key, ReteNode* node,
               std::vector<ReteNode*> support);

@@ -43,10 +43,12 @@ std::string CatalogStats::ToString() const {
 std::shared_ptr<ViewCatalog> ViewCatalog::Create(
     PropertyGraph* graph, NetworkOptions network_options,
     CatalogOptions options) {
-  // PGIVM_THREADS wins over programmatic executor configuration for every
-  // network this catalog creates (shared or per-view).
+  // PGIVM_THREADS / PGIVM_PROFILE win over programmatic configuration for
+  // every network this catalog creates (shared or per-view).
   return std::shared_ptr<ViewCatalog>(new ViewCatalog(
-      graph, ApplyEnvExecutorOverride(network_options), options));
+      graph,
+      ApplyEnvProfilingOverride(ApplyEnvExecutorOverride(network_options)),
+      options));
 }
 
 Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
@@ -77,6 +79,10 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
           network_options_.parallel_min_wave_entries);
       network_->set_epoch_retention(network_options_.epoch_retention);
       network_->set_thread_pool(EnginePool());
+      network_->set_metrics(metrics_.get());
+      network_->set_trace_capacity(network_options_.trace_capacity);
+      network_->set_profiling(
+          profiling_flag_.load(std::memory_order_relaxed));
     }
     Result<BuiltView> built = BuildViewInto(network_.get(), view->fra_,
                                             graph_, network_options_,
@@ -137,6 +143,11 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
         std::unique_ptr<ReteNetwork> network,
         BuildNetwork(view->fra_, graph_, network_options_));
     network->set_thread_pool(EnginePool());
+    network->set_metrics(metrics_.get());
+    // BuildNetwork applied the configured default; the runtime switch may
+    // have moved since (SetProfiling flips every network, even ones not
+    // built yet).
+    network->set_profiling(profiling_flag_.load(std::memory_order_relaxed));
 
     Entry entry;
     entry.view = view.get();
@@ -157,7 +168,31 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
   replayed_entries_ += last_prime_.replayed_entries;
   graph_primed_entries_ += last_prime_.graph_primed_entries;
   view->prime_stats_ = last_prime_;
+  // Serving-path instrumentation: Pin() samples its latency into the
+  // engine-wide registry when profiling is on. The view holds the catalog
+  // alive (catalog_), so both pointers outlive it.
+  view->profiling_flag_ = &profiling_flag_;
+  view->pin_hist_ = &metrics_->GetHistogram("serving.pin_ns");
   return view;
+}
+
+std::vector<const ReteNetwork*> ViewCatalog::Networks() const {
+  std::vector<const ReteNetwork*> networks;
+  if (options_.share_operator_state) {
+    if (network_ != nullptr) networks.push_back(network_.get());
+  } else {
+    for (const Entry& entry : entries_) networks.push_back(entry.network);
+  }
+  return networks;
+}
+
+void ViewCatalog::SetProfiling(bool on) {
+  profiling_flag_.store(on, std::memory_order_relaxed);
+  if (options_.share_operator_state) {
+    if (network_ != nullptr) network_->set_profiling(on);
+  } else {
+    for (const Entry& entry : entries_) entry.network->set_profiling(on);
+  }
 }
 
 std::shared_ptr<ThreadPool> ViewCatalog::EnginePool() {

@@ -7,10 +7,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "catalog/node_registry.h"
 #include "engine/view.h"
 #include "graph/property_graph.h"
 #include "rete/network_builder.h"
+#include "support/metrics.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -110,13 +113,16 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
                                         OpPtr fra, int64_t skip,
                                         int64_t limit);
 
+  /// Prefer QueryEngine::MetricsSnapshot(), which embeds these stats in
+  /// the engine-wide picture; kept as the catalog-local view.
   CatalogStats Stats() const;
 
   /// Priming accounting of the most recent Install: how many tuples the
   /// new view received by memory replay vs. from fresh source nodes
   /// reading the graph (plus the fresh-node / replay-edge partition
   /// sizes). The first registration and every unshared or
-  /// full-re-prime registration report zero replayed entries.
+  /// full-re-prime registration report zero replayed entries. Also
+  /// embedded in QueryEngine::MetricsSnapshot().last_prime.
   const ReteNetwork::PrimeStats& last_prime_stats() const {
     return last_prime_;
   }
@@ -139,6 +145,33 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
   /// view is registered).
   const ReteNetwork* shared_network() const { return network_.get(); }
 
+  /// Every live network the catalog's views run in: the shared network in
+  /// sharing mode, or one per view without it. Writer-thread only (the
+  /// entry list mutates under Install/Deregister).
+  std::vector<const ReteNetwork*> Networks() const;
+
+  /// The engine-wide metrics registry: every network this catalog creates
+  /// records its propagation histograms here, and the serving path records
+  /// pin latency. Counter/histogram reads are safe from any thread.
+  MetricsRegistry& metrics() const { return *metrics_; }
+  std::shared_ptr<MetricsRegistry> metrics_ptr() const { return metrics_; }
+
+  /// Flips per-node/per-drain propagation profiling on every live network
+  /// (and every network created later). Writer-thread only — the flag must
+  /// not change mid-drain. Serving-path pin instrumentation reads the
+  /// atomic flag from reader threads.
+  void SetProfiling(bool on);
+  bool profiling() const { return profiling_flag_.load(std::memory_order_relaxed); }
+  const std::atomic<bool>* profiling_flag() const { return &profiling_flag_; }
+
+  /// Resolves a canonical plan fingerprint to its live shared Rete node,
+  /// or nullptr (unknown fingerprint, or sharing disabled). Non-counting:
+  /// ExplainAnalyze uses it without skewing registry hit/miss statistics.
+  const ReteNode* FindNodeByFingerprint(const std::string& key) const {
+    const NodeRegistry::Entry* entry = registry_.Find(key);
+    return entry == nullptr ? nullptr : entry->node;
+  }
+
   /// Stats plus one line per registered view.
   std::string DebugString() const;
 
@@ -156,7 +189,9 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
               CatalogOptions options)
       : graph_(graph),
         network_options_(network_options),
-        options_(options) {}
+        options_(options),
+        metrics_(std::make_shared<MetricsRegistry>()),
+        profiling_flag_(network_options.profiling) {}
 
   void Deregister(View* view);
 
@@ -174,6 +209,12 @@ class ViewCatalog : public std::enable_shared_from_this<ViewCatalog> {
   std::vector<Entry> entries_;
   std::unordered_map<ReteNode*, int> refcounts_;
   std::shared_ptr<ThreadPool> pool_;
+  /// Shared so views can keep the serving-path histograms alive past the
+  /// catalog (View holds a reference).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  /// Runtime profiling switch. Written by SetProfiling (writer thread),
+  /// read relaxed by the serving path (View::Pin, any thread).
+  std::atomic<bool> profiling_flag_;
   ReteNetwork::PrimeStats last_prime_;
   int64_t replayed_entries_ = 0;      // lifetime, across Installs
   int64_t graph_primed_entries_ = 0;  // lifetime, across Installs

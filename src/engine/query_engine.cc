@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "algebra/compiler.h"
+#include "algebra/plan_fingerprint.h"
 #include "algebra/plan_printer.h"
 #include "baseline/baseline_evaluator.h"
 #include "cypher/parser.h"
@@ -15,16 +17,25 @@
 
 namespace pgivm {
 
-/// Queue, thread and counters of one ingest session. The counters are
-/// atomics so the owning thread can read them (ingest_mutations/batches)
-/// while the ingest thread advances them.
+/// Queue and thread of one ingest session. Volume counters live on the
+/// engine itself (ingest_mutations_done_/ingest_batches_done_), not here:
+/// any thread may poll them mid-session, and the session object dies in
+/// StopIngest while pollers are still reading.
 struct QueryEngine::Ingest {
+  /// One queued mutation plus its enqueue timestamp. The timestamp is
+  /// stamped only while profiling is on (0 otherwise), so SubmitAsync
+  /// stays clock-free when observability is off; when on, the ingest
+  /// thread turns it into the "ingest.commit_latency_ns" histogram — the
+  /// submitter-visible enqueue-to-commit serving latency.
+  struct Item {
+    GraphMutation fn;
+    int64_t enqueue_ns = 0;
+  };
+
   explicit Ingest(size_t depth) : queue(depth) {}
 
-  BoundedQueue<GraphMutation> queue;
+  BoundedQueue<Item> queue;
   std::thread thread;
-  std::atomic<int64_t> mutations{0};
-  std::atomic<int64_t> batches{0};
 };
 
 QueryEngine::QueryEngine(PropertyGraph* graph, EngineOptions options)
@@ -40,21 +51,58 @@ void QueryEngine::StartIngest() {
   size_t depth = options_.ingest_queue_depth < 1 ? 1
                                                  : options_.ingest_queue_depth;
   ingest_ = std::make_unique<Ingest>(depth);
+  if (ingest_trace_ == nullptr) {
+    ingest_trace_ =
+        std::make_unique<TraceBuffer>(options_.network.trace_capacity);
+  }
   Ingest* ingest = ingest_.get();
   PropertyGraph* graph = graph_;
-  ingest->thread = std::thread([ingest, graph] {
-    std::vector<GraphMutation> batch;
+  // Instruments are resolved once here so the loop records lock-free; the
+  // profiling flag itself is re-read per batch (runtime-toggleable).
+  const std::atomic<bool>* prof_flag = catalog_->profiling_flag();
+  MetricsRegistry& metrics = catalog_->metrics();
+  LatencyHistogram* h_commit =
+      &metrics.GetHistogram("ingest.commit_latency_ns");
+  LatencyHistogram* h_apply = &metrics.GetHistogram("ingest.batch_apply_ns");
+  LatencyHistogram* h_size = &metrics.GetHistogram("ingest.batch_mutations");
+  TraceBuffer* trace = ingest_trace_.get();
+  std::atomic<int64_t>* mutations_done = &ingest_mutations_done_;
+  std::atomic<int64_t>* batches_done = &ingest_batches_done_;
+  ingest->thread = std::thread([ingest, graph, prof_flag, h_commit, h_apply,
+                                h_size, trace, mutations_done, batches_done] {
+    std::vector<Ingest::Item> batch;
     // PopAll blocks until work arrives and hands over *everything* queued:
     // submissions that piled up while the previous batch propagated are
     // coalesced into one graph delta — one drain, one committed epoch —
     // instead of one drain each.
     while (ingest->queue.PopAll(batch) > 0) {
+      const bool prof = prof_flag->load(std::memory_order_relaxed);
+      const int64_t start_ns = prof ? MonotonicNowNs() : 0;
       graph->BeginBatch();
-      for (GraphMutation& mutation : batch) mutation(*graph);
+      for (Ingest::Item& item : batch) item.fn(*graph);
       graph->CommitBatch();
-      ingest->mutations.fetch_add(static_cast<int64_t>(batch.size()),
-                                  std::memory_order_relaxed);
-      ingest->batches.fetch_add(1, std::memory_order_relaxed);
+      if (prof) {
+        // CommitBatch returned, so the batch's propagation drain has run
+        // and its epoch is published: end-start is apply+drain+publish,
+        // end-enqueue the submitter-visible commit latency.
+        const int64_t end_ns = MonotonicNowNs();
+        h_apply->Record(end_ns - start_ns);
+        h_size->Record(static_cast<int64_t>(batch.size()));
+        for (const Ingest::Item& item : batch) {
+          if (item.enqueue_ns > 0) h_commit->Record(end_ns - item.enqueue_ns);
+        }
+        TraceEvent event;
+        event.name = "ingest.batch";
+        event.category = "ingest";
+        event.start_ns = start_ns;
+        event.dur_ns = end_ns - start_ns;
+        event.tid = 3;
+        event.args = StrCat("\"mutations\":", batch.size());
+        trace->Append(std::move(event));
+      }
+      mutations_done->fetch_add(static_cast<int64_t>(batch.size()),
+                                std::memory_order_relaxed);
+      batches_done->fetch_add(1, std::memory_order_relaxed);
       batch.clear();
     }
   });
@@ -64,29 +112,23 @@ void QueryEngine::StopIngest() {
   if (ingest_ == nullptr) return;
   ingest_->queue.Close();  // drains what is queued, then the loop exits
   if (ingest_->thread.joinable()) ingest_->thread.join();
-  ingest_mutations_done_ +=
-      ingest_->mutations.load(std::memory_order_relaxed);
-  ingest_batches_done_ += ingest_->batches.load(std::memory_order_relaxed);
   ingest_.reset();
 }
 
 bool QueryEngine::SubmitAsync(GraphMutation mutation) {
   if (ingest_ == nullptr || mutation == nullptr) return false;
-  return ingest_->queue.Push(std::move(mutation));
+  Ingest::Item item;
+  item.fn = std::move(mutation);
+  if (catalog_->profiling()) item.enqueue_ns = MonotonicNowNs();
+  return ingest_->queue.Push(std::move(item));
 }
 
 int64_t QueryEngine::ingest_mutations() const {
-  int64_t live = ingest_ == nullptr
-                     ? 0
-                     : ingest_->mutations.load(std::memory_order_relaxed);
-  return ingest_mutations_done_ + live;
+  return ingest_mutations_done_.load(std::memory_order_relaxed);
 }
 
 int64_t QueryEngine::ingest_batches() const {
-  int64_t live = ingest_ == nullptr
-                     ? 0
-                     : ingest_->batches.load(std::memory_order_relaxed);
-  return ingest_batches_done_ + live;
+  return ingest_batches_done_.load(std::memory_order_relaxed);
 }
 
 namespace {
@@ -152,6 +194,141 @@ Result<std::string> QueryEngine::Explain(std::string_view cypher,
   fra_print.fingerprints = true;
   return StrCat("GRA (paper step 1):\n", PrintPlan(gra),
                 "\nFRA (after steps 2-3):\n", PrintPlan(fra, fra_print));
+}
+
+namespace {
+
+/// The per-operator EXPLAIN ANALYZE annotation: live statistics of the
+/// Rete node the operator resolved to. Counts come from the node's
+/// NodeProfile (populated while profiling is on — for the probe view that
+/// covers at least its priming propagation) plus the lifetime emitted
+/// total and current memory footprint.
+std::string NodeStatsAnnotation(const ReteNode& node) {
+  const NodeProfile& profile = node.profile();
+  return StrCat(
+      "[", node.KindName(), " entries=", node.emitted_entries(),
+      " in=", profile.input_entries.load(std::memory_order_relaxed),
+      " out=", profile.output_entries.load(std::memory_order_relaxed),
+      " act=", profile.activations.load(std::memory_order_relaxed),
+      " mem=", node.ApproxMemoryBytes(), "B time=",
+      profile.busy_ns.load(std::memory_order_relaxed) / 1000, "us]");
+}
+
+}  // namespace
+
+Result<std::string> QueryEngine::ExplainAnalyze(std::string_view cypher,
+                                                const ValueMap& parameters) {
+  const bool was_profiling = catalog_->profiling();
+  if (!was_profiling) catalog_->SetProfiling(true);
+  Result<std::shared_ptr<View>> probe = Register(cypher, parameters);
+  if (!probe.ok()) {
+    if (!was_profiling) catalog_->SetProfiling(false);
+    return probe.status();
+  }
+  const View& view = **probe;
+  const bool sharing = catalog_->sharing();
+  PlanPrintOptions print;
+  print.fingerprints = true;
+  print.annotate = [this, &view, sharing](const LogicalOp& op) {
+    const ReteNode* node = nullptr;
+    if (op.kind == OpKind::kProduce) {
+      // Productions are never shared, so the probe's own root is the
+      // operator's node; it is also absent from the sharing registry.
+      node = view.production_;
+    } else if (sharing) {
+      const std::string key = CanonicalPlanKey(op);
+      if (!key.empty()) node = catalog_->FindNodeByFingerprint(key);
+    }
+    return node == nullptr ? std::string() : NodeStatsAnnotation(*node);
+  };
+  const ReteNetwork::PrimeStats& prime = view.prime_stats();
+  std::string report = StrCat(
+      "EXPLAIN ANALYZE ", view.query(), "\n",
+      PrintPlan(view.fra_plan(), print),
+      sharing ? ""
+              : "(operator-state sharing disabled: only the production "
+                "root resolves to a live node)\n",
+      "prime: replayed=", prime.replayed_entries,
+      " graph=", prime.graph_primed_entries,
+      " fresh_nodes=", prime.fresh_nodes, "\n",
+      "catalog: ", catalog_->Stats().ToString(), "\n");
+  // Deregister the probe view (refcounts restore; siblings untouched),
+  // then restore the profiling flag.
+  probe->reset();
+  if (!was_profiling) catalog_->SetProfiling(false);
+  return report;
+}
+
+EngineMetricsSnapshot QueryEngine::MetricsSnapshot() const {
+  EngineMetricsSnapshot snap;
+  snap.catalog = catalog_->Stats();
+  snap.last_prime = catalog_->last_prime_stats();
+  for (const ReteNetwork* network : catalog_->Networks()) {
+    snap.deltas_processed += network->deltas_processed();
+    snap.changes_processed += network->changes_processed();
+    snap.total_emitted_entries += network->TotalEmittedEntries();
+    snap.source_emitted_entries += network->SourceEmittedEntries();
+    snap.parallel_waves_dispatched += network->parallel_waves_dispatched();
+    snap.epochs_published += network->epochs_published();
+    snap.commit_epoch = std::max(snap.commit_epoch, network->commit_epoch());
+    std::vector<ReteNetwork::NodeMetrics> nodes =
+        network->NodeMetricsSnapshot();
+    snap.nodes.insert(snap.nodes.end(),
+                      std::make_move_iterator(nodes.begin()),
+                      std::make_move_iterator(nodes.end()));
+  }
+  snap.ingest_mutations = ingest_mutations();
+  snap.ingest_batches = ingest_batches();
+  snap.ingest_running = ingest_running();
+  snap.profiling = catalog_->profiling();
+  snap.counters = catalog_->metrics().CounterValues();
+  snap.histograms = catalog_->metrics().HistogramValues();
+  return snap;
+}
+
+std::string EngineMetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "catalog: " << catalog.ToString() << "\n";
+  os << "propagation: deltas=" << deltas_processed
+     << " changes=" << changes_processed
+     << " emitted=" << total_emitted_entries
+     << " source_emitted=" << source_emitted_entries
+     << " parallel_waves=" << parallel_waves_dispatched
+     << " epoch=" << commit_epoch
+     << " epochs_published=" << epochs_published << "\n";
+  os << "ingest: mutations=" << ingest_mutations
+     << " batches=" << ingest_batches
+     << " running=" << (ingest_running ? "yes" : "no") << "\n";
+  os << "profiling: " << (profiling ? "on" : "off") << "\n";
+  for (const auto& [name, value] : counters) {
+    os << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    if (hist.count == 0) continue;
+    os << "hist " << name << ": count=" << hist.count
+       << " mean=" << static_cast<int64_t>(hist.Mean())
+       << " p50=" << hist.P50() << " p95=" << hist.P95()
+       << " p99=" << hist.P99() << " max=" << hist.max << "\n";
+  }
+  if (profiling) {
+    for (const ReteNetwork::NodeMetrics& node : nodes) {
+      os << "node " << node.name << " kind=" << node.kind
+         << " level=" << node.level << " emitted=" << node.emitted_entries
+         << " act=" << node.activations << " in=" << node.input_entries
+         << " out=" << node.output_entries << " busy_ns=" << node.busy_ns
+         << " mem=" << node.memory_bytes << "B\n";
+    }
+  }
+  return os.str();
+}
+
+Status QueryEngine::DumpTrace(const std::string& path) const {
+  std::vector<const TraceBuffer*> buffers;
+  for (const ReteNetwork* network : catalog_->Networks()) {
+    buffers.push_back(network->trace());  // null when never profiled
+  }
+  buffers.push_back(ingest_trace_.get());
+  return WriteChromeTrace(path, buffers);
 }
 
 }  // namespace pgivm

@@ -1,11 +1,13 @@
 #ifndef PGIVM_ENGINE_QUERY_ENGINE_H_
 #define PGIVM_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "algebra/passes/pass_manager.h"
@@ -13,9 +15,58 @@
 #include "engine/view.h"
 #include "graph/property_graph.h"
 #include "rete/network_builder.h"
+#include "support/metrics.h"
 #include "support/status.h"
 
 namespace pgivm {
+
+/// One coherent point-in-time copy of every statistic the engine keeps —
+/// the unified observability surface. Supersedes the scattered accessors
+/// (ViewCatalog::Stats, last_prime_stats, the ReteNetwork counter getters,
+/// ingest_mutations/batches), which remain as thin compatibility wrappers
+/// over the same state. Propagation totals are summed across every live
+/// network (one shared network under sharing, one per view without).
+///
+/// Obtain via QueryEngine::MetricsSnapshot() on the writer thread; the
+/// returned value is a plain copy, safe to keep and read anywhere.
+struct EngineMetricsSnapshot {
+  /// View/sharing/memory accounting (== ViewCatalog::Stats()).
+  CatalogStats catalog;
+  /// Priming split of the most recent registration.
+  ReteNetwork::PrimeStats last_prime;
+
+  // Propagation totals, summed across live networks.
+  int64_t deltas_processed = 0;
+  int64_t changes_processed = 0;
+  int64_t total_emitted_entries = 0;
+  int64_t source_emitted_entries = 0;
+  int64_t parallel_waves_dispatched = 0;
+  int64_t epochs_published = 0;
+  /// Highest committed epoch across networks.
+  uint64_t commit_epoch = 0;
+
+  // Serving-path ingest totals (== ingest_mutations()/ingest_batches()).
+  int64_t ingest_mutations = 0;
+  int64_t ingest_batches = 0;
+  bool ingest_running = false;
+
+  /// Whether profiling was on when the snapshot was taken. Node profiles
+  /// and the registry instruments below only advance while it is on.
+  bool profiling = false;
+
+  /// Per-node propagation profiles (name, kind, level, entry counts,
+  /// memory, busy time), across every live network.
+  std::vector<ReteNetwork::NodeMetrics> nodes;
+
+  /// Engine-wide named counters and histograms (propagation.*, serving.*,
+  /// ingest.*), in name order.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Multi-line human-readable rendering (totals, then instruments, then
+  /// per-node profiles when profiling is on).
+  std::string ToString() const;
+};
 
 /// Engine-wide configuration: plan lowering and runtime flags. Defaults are
 /// the paper's full pipeline; the ablation benchmarks flip individual flags.
@@ -83,6 +134,48 @@ class QueryEngine {
   Result<std::string> Explain(std::string_view cypher,
                               const ValueMap& parameters = {}) const;
 
+  /// EXPLAIN ANALYZE: registers `cypher` against the live catalog (with
+  /// profiling temporarily enabled if it was off), then renders its FRA
+  /// plan with each operator annotated by the *live* Rete node it resolved
+  /// to — entries emitted, consolidated input/output entry counts,
+  /// activations, memory bytes and busy time, all populated by the
+  /// registration's priming propagation and whatever the catalog has
+  /// processed since. Shared-catalog mode resolves interior operators
+  /// through the sharing registry's fingerprints, so an operator served by
+  /// a sibling view's node shows that node's lifetime statistics — the
+  /// annotation makes sharing visible. Without sharing only the
+  /// production root can be resolved and the report says so.
+  ///
+  /// The probe view is deregistered before returning (refcounts restore,
+  /// sibling views are untouched), and the profiling flag is restored.
+  /// Writer-thread only, like Register.
+  Result<std::string> ExplainAnalyze(std::string_view cypher,
+                                     const ValueMap& parameters = {});
+
+  /// One coherent copy of every engine statistic — see
+  /// EngineMetricsSnapshot. Writer-thread only (it walks the catalog's
+  /// network list); the individual counters it aggregates remain readable
+  /// from any thread through their own accessors.
+  EngineMetricsSnapshot MetricsSnapshot() const;
+
+  /// Runtime switch for per-node/per-drain propagation profiling across
+  /// the whole engine (every live network plus ones registered later, the
+  /// serving pin path and the ingest spans). Writer-thread only; off by
+  /// default (NetworkOptions::profiling, overridable via PGIVM_PROFILE).
+  void set_profiling(bool on) { catalog_->SetProfiling(on); }
+  bool profiling() const { return catalog_->profiling(); }
+
+  /// The engine-wide metrics registry (counter/histogram reads are safe
+  /// from any thread).
+  MetricsRegistry& metrics() const { return catalog_->metrics(); }
+
+  /// Writes every trace buffer the engine accumulated while profiling —
+  /// each network's propagation spans plus the ingest thread's batch
+  /// spans — as one Chrome tracing / Perfetto-compatible JSON file.
+  /// Writer-thread only, and must not race a running ingest session
+  /// (StopIngest first): trace buffers are single-writer.
+  Status DumpTrace(const std::string& path) const;
+
   /// One graph mutation submitted through the ingest queue; runs on the
   /// ingest thread, inside a BeginBatch/CommitBatch bracket, against the
   /// engine's graph.
@@ -115,7 +208,12 @@ class QueryEngine {
   bool SubmitAsync(GraphMutation mutation);
 
   /// Lifetime counts across ingest sessions: mutations applied, and the
-  /// BeginBatch/CommitBatch batches they were coalesced into.
+  /// BeginBatch/CommitBatch batches they were coalesced into. Safe from
+  /// any thread, including concurrently with a running ingest session.
+  ///
+  /// Deprecated surface: prefer QueryEngine::MetricsSnapshot(), which
+  /// reports the same totals (ingest_mutations/ingest_batches) alongside
+  /// every other engine statistic. Kept as thin wrappers.
   int64_t ingest_mutations() const;
   int64_t ingest_batches() const;
 
@@ -136,9 +234,16 @@ class QueryEngine {
   EngineOptions options_;
   std::shared_ptr<ViewCatalog> catalog_;
   std::unique_ptr<Ingest> ingest_;
-  /// Counter totals of finished ingest sessions (accumulated at Stop).
-  int64_t ingest_mutations_done_ = 0;
-  int64_t ingest_batches_done_ = 0;
+  /// Lifetime ingest volume, advanced by the ingest thread per committed
+  /// batch. Lives on the engine (not on the Ingest session) and is atomic
+  /// so any thread may poll ingest_mutations()/ingest_batches() while a
+  /// session runs, starts, or stops on the writer thread.
+  std::atomic<int64_t> ingest_mutations_done_{0};
+  std::atomic<int64_t> ingest_batches_done_{0};
+  /// Ingest-thread trace spans (one "batch" event per committed batch
+  /// while profiling); created at the first StartIngest, appended only by
+  /// the ingest thread, read by DumpTrace between sessions.
+  std::unique_ptr<TraceBuffer> ingest_trace_;
 };
 
 }  // namespace pgivm

@@ -16,10 +16,18 @@ View::~View() {
 }
 
 std::shared_ptr<const ViewSnapshot> View::Pin() const {
+  // Profiling-off keeps this path free of clock reads: one relaxed bool
+  // load is the entire overhead.
+  const bool prof = profiling_flag_ != nullptr &&
+                    profiling_flag_->load(std::memory_order_relaxed);
+  const int64_t start_ns = prof ? MonotonicNowNs() : 0;
   ProductionNode::EpochPtr epoch = production_->PinSnapshot();
   std::shared_ptr<const ViewSnapshot> cached =
       std::atomic_load_explicit(&cache_, std::memory_order_acquire);
-  if (cached != nullptr && cached->source_ == epoch) return cached;
+  if (cached != nullptr && cached->source_ == epoch) {
+    if (prof) pin_hist_->Record(MonotonicNowNs() - start_ns);
+    return cached;
+  }
 
   // First reader of this epoch (or a racing peer — benign, see header):
   // build the immutable rendering and swap it in for later pins.
@@ -36,6 +44,7 @@ std::shared_ptr<const ViewSnapshot> View::Pin() const {
   built->rows_ = std::move(rows);
   std::shared_ptr<const ViewSnapshot> result = std::move(built);
   std::atomic_store_explicit(&cache_, result, std::memory_order_release);
+  if (prof) pin_hist_->Record(MonotonicNowNs() - start_ns);
   return result;
 }
 

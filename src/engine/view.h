@@ -1,6 +1,7 @@
 #ifndef PGIVM_ENGINE_VIEW_H_
 #define PGIVM_ENGINE_VIEW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "algebra/operator.h"
 #include "rete/network.h"
+#include "support/metrics.h"
 
 namespace pgivm {
 
@@ -177,6 +179,14 @@ class View {
   int64_t limit_ = -1;
   /// Replayed-vs-graph-primed accounting of this view's registration.
   ReteNetwork::PrimeStats prime_stats_;
+
+  /// Serving-path instrumentation, wired by ViewCatalog::Install. When the
+  /// catalog's runtime profiling flag is on, Pin() records its latency into
+  /// the engine-wide "serving.pin_ns" histogram. Both point into the
+  /// catalog, which catalog_ keeps alive; null only for hand-constructed
+  /// test views.
+  const std::atomic<bool>* profiling_flag_ = nullptr;
+  LatencyHistogram* pin_hist_ = nullptr;
 
   /// Pin()'s per-epoch cache: the immutable ViewSnapshot built for the
   /// most recently pinned epoch. Accessed only via atomic_load /

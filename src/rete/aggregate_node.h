@@ -54,6 +54,7 @@ class AggregateNode : public ReteNode {
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override { return "Aggregate"; }
+  const char* KindName() const override { return "Aggregate"; }
 
  private:
   /// Retractable state of one aggregate function within one group.

@@ -34,6 +34,7 @@ class AntiJoinNode : public ReteNode {
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override { return "AntiJoin"; }
+  const char* KindName() const override { return "AntiJoin"; }
 
  private:
   JoinLayout layout_;

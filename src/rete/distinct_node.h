@@ -32,6 +32,7 @@ class DistinctNode : public ReteNode {
   }
 
   std::string DebugString() const override { return "Distinct"; }
+  const char* KindName() const override { return "Distinct"; }
 
  private:
   Bag support_;

@@ -17,6 +17,7 @@ class FilterNode : public ReteNode {
   void OnDelta(int port, const Delta& delta) override;
 
   std::string DebugString() const override;
+  const char* KindName() const override { return "Filter"; }
 
  private:
   BoundExpression predicate_;

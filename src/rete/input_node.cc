@@ -330,6 +330,11 @@ void EdgeInputNode::HandleChange(const GraphChange& change) {
   switch (change.kind) {
     case GraphChange::Kind::kAddEdge:
       if (!TypeMatches(change.edge_type)) return;
+      // A later change in the same batch may have removed this edge again
+      // (possibly detach-removing an endpoint, whose properties the vertex
+      // extracts would read from the post-batch graph). Skip the assert; the
+      // matching kRemoveEdge later in this delta then finds nothing stored.
+      if (!graph_->HasEdge(change.edge)) return;
       AssertEdge(change.edge, change.src, change.dst, change.edge_type,
                  change.properties, out);
       break;

@@ -49,6 +49,7 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
 
   size_t ApproxMemoryBytes() const override;
   std::string DebugString() const override;
+  const char* KindName() const override { return "VertexInput"; }
 
  private:
   bool Matches(const std::vector<std::string>& labels) const;
@@ -87,6 +88,7 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
 
   size_t ApproxMemoryBytes() const override;
   std::string DebugString() const override;
+  const char* KindName() const override { return "EdgeInput"; }
 
  private:
   bool TypeMatches(const std::string& type) const;
@@ -131,6 +133,7 @@ class UnitInputNode : public ReteNode, public GraphSourceNode {
   }
 
   std::string DebugString() const override { return "Unit"; }
+  const char* KindName() const override { return "UnitInput"; }
 };
 
 }  // namespace pgivm

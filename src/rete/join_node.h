@@ -42,6 +42,7 @@ class JoinNode : public ReteNode {
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override;
+  const char* KindName() const override { return "Join"; }
 
  private:
   /// key tuple -> (full tuple -> count).

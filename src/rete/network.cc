@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "support/string_util.h"
+
 namespace pgivm {
 
 const char* PropagationStrategyName(PropagationStrategy strategy) {
@@ -56,6 +58,34 @@ void ReteNetwork::set_thread_pool(std::shared_ptr<ThreadPool> pool) {
   assert(attached_graph_ == nullptr && "lend the pool before Attach");
   if (attached_graph_ != nullptr) return;
   shared_pool_ = std::move(pool);
+}
+
+void ReteNetwork::set_profiling(bool on) {
+  profiling_ = on;
+  // Nodes carry their own copy of the flag for the eager fan-out path;
+  // nodes added later inherit it at Attach/PrimeNewNodes.
+  for (const auto& node : nodes_) node->set_profiling(on);
+  if (on && trace_ == nullptr) {
+    trace_ = std::make_unique<TraceBuffer>(trace_capacity_);
+  }
+}
+
+void ReteNetwork::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    h_drain_ns_ = nullptr;
+    h_translate_ns_ = nullptr;
+    h_wave_ns_ = nullptr;
+    h_barrier_ns_ = nullptr;
+    h_drain_entries_ = nullptr;
+    return;
+  }
+  // Resolved once so the profiling paths never take the registry mutex.
+  h_drain_ns_ = &metrics->GetHistogram("propagation.drain_ns");
+  h_translate_ns_ = &metrics->GetHistogram("propagation.translate_ns");
+  h_wave_ns_ = &metrics->GetHistogram("propagation.wave_ns");
+  h_barrier_ns_ = &metrics->GetHistogram("propagation.barrier_ns");
+  h_drain_entries_ = &metrics->GetHistogram("propagation.drain_entries");
 }
 
 void ReteNetwork::Attach(PropertyGraph* graph) {
@@ -114,6 +144,7 @@ void ReteNetwork::Attach(PropertyGraph* graph) {
   }
   for (const auto& node : nodes_) {
     node->set_emit_sink(batched ? this : nullptr);
+    node->set_profiling(profiling_);
   }
   // Under parallel waves, listener callbacks must not run on pool workers
   // (user code; two productions in one wave would fire concurrently) —
@@ -198,8 +229,11 @@ void ReteNetwork::RemoveNodes(const std::vector<ReteNode*>& victims) {
 }
 
 void ReteNetwork::OnGraphDelta(const GraphDelta& delta) {
-  ++deltas_processed_;
-  changes_processed_ += static_cast<int64_t>(delta.changes.size());
+  deltas_processed_.fetch_add(1, std::memory_order_relaxed);
+  changes_processed_.fetch_add(static_cast<int64_t>(delta.changes.size()),
+                               std::memory_order_relaxed);
+  const bool prof = profiling_;
+  const int64_t start_ns = prof ? MonotonicNowNs() : 0;
   // Eager: each HandleChange cascades depth-first on its own. Batched: the
   // emit sinks buffer the sources' relational deltas while the *entire*
   // graph delta is translated, and DrainWaves then moves them through the
@@ -211,6 +245,25 @@ void ReteNetwork::OnGraphDelta(const GraphDelta& delta) {
     }
   }
   buffering_ = false;
+  if (prof) {
+    // Under kBatched this span is pure source translation (delivery is
+    // deferred to DrainWaves); under kEager the depth-first cascades run
+    // inside HandleChange, so it covers the whole propagation.
+    const int64_t end_ns = MonotonicNowNs();
+    const bool eager = propagation_ == PropagationStrategy::kEager;
+    if (h_translate_ns_ != nullptr && !eager) {
+      h_translate_ns_->Record(end_ns - start_ns);
+    }
+    if (eager && h_drain_ns_ != nullptr) h_drain_ns_->Record(end_ns - start_ns);
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.name = eager ? "cascade" : "translate";
+      event.start_ns = start_ns;
+      event.dur_ns = end_ns - start_ns;
+      event.args = StrCat("\"changes\":", delta.changes.size());
+      trace_->Append(std::move(event));
+    }
+  }
   if (propagation_ == PropagationStrategy::kBatched) {
     DrainWaves();  // publishes the commit epoch at its end
   } else {
@@ -300,8 +353,17 @@ void ReteNetwork::EnqueueReady(ReteNode* node, NodeState& state) {
 }
 
 void ReteNetwork::DeliverPending(ReteNode* node, NodeState& state) {
+  // With profiling on, the node's own wall time and consolidated in/out
+  // volumes are sampled right here — the single place every batched
+  // delivery funnels through, whether it runs on the draining thread or on
+  // one pool worker (single writer per node either way, so the NodeState
+  // scratch fields need no synchronization; the pool join is the barrier).
+  const bool prof = profiling_;
+  const int64_t start_ns = prof ? MonotonicNowNs() : 0;
+  int64_t in_entries = 0;
   for (auto& [port, pending] : state.pending) {
     if (!pending.clean) Consolidate(pending.delta, consolidation_cutoff_);
+    if (prof) in_entries += static_cast<int64_t>(pending.delta.size());
     if (!pending.delta.empty()) node->OnDelta(port, pending.delta);
     // Empty in place (not pending.clear()): the slots and their Delta
     // buffers survive, so steady-state waves do not re-allocate.
@@ -311,6 +373,14 @@ void ReteNetwork::DeliverPending(ReteNode* node, NodeState& state) {
   // Consolidating the response here (rather than in FlushNode) puts the
   // sort inside the parallel phase when the wave runs on the pool.
   Consolidate(state.out, consolidation_cutoff_);
+  if (prof) {
+    const int64_t dur_ns = MonotonicNowNs() - start_ns;
+    state.prof_start_ns = start_ns;
+    state.prof_dur_ns = dur_ns;
+    state.prof_in_entries = in_entries;
+    node->profile().RecordDelivery(
+        in_entries, static_cast<int64_t>(state.out.size()), dur_ns);
+  }
 }
 
 void ReteNetwork::FlushNode(ReteNode* node, NodeState& state) {
@@ -366,18 +436,32 @@ size_t ReteNetwork::WaveQueuedEntries(
 void ReteNetwork::DrainWaves() {
   draining_ = true;
   const bool parallel = pool_ != nullptr;
-  for (auto& ready : ready_by_level_) {
+  const bool prof = profiling_;
+  const int64_t drain_start_ns = prof ? MonotonicNowNs() : 0;
+  int64_t drain_waves = 0;
+  int64_t drain_entries = 0;
+  for (size_t level = 0; level < ready_by_level_.size(); ++level) {
+    std::vector<ReteNode*>& ready = ready_by_level_[level];
     // Appends only target strictly higher levels, so iterating by index
     // while lower levels flush into this one is safe; a level never grows
     // while it is being drained.
+    if (ready.empty()) continue;
     //
     // Work-size gate: near-empty waves (single-change steady state) run
     // inline — waking the pool costs more than delivering a handful of
     // entries. Bit-parity is unaffected; only *where* delivery runs moves.
+    // (With profiling on, the queue depth is measured for every wave — it
+    // is also the wave's trace annotation.)
+    const bool gate_needs_entries =
+        parallel && ready.size() > 1 && parallel_min_wave_entries_ > 0;
+    const size_t queued_entries = (prof || gate_needs_entries)
+                                      ? WaveQueuedEntries(ready)
+                                      : 0;
     const bool wave_parallel =
         parallel && ready.size() > 1 &&
         (parallel_min_wave_entries_ == 0 ||
-         WaveQueuedEntries(ready) >= parallel_min_wave_entries_);
+         queued_entries >= parallel_min_wave_entries_);
+    const int64_t wave_start_ns = prof ? MonotonicNowNs() : 0;
     if (wave_parallel) {
       // Phase 1 — the wave's owned nodes run data-parallel. Each node is
       // claimed by exactly one worker, so node memories and the per-node
@@ -391,7 +475,7 @@ void ReteNetwork::DrainWaves() {
         if (states_.at(node).owned) wave_scratch_.push_back(node);
       }
       if (wave_scratch_.size() > 1) {
-        ++parallel_waves_dispatched_;
+        parallel_waves_dispatched_.fetch_add(1, std::memory_order_relaxed);
         pool_->Run(wave_scratch_.size(), [this](size_t i) {
           ReteNode* node = wave_scratch_[i];
           DeliverPending(node, states_.at(node));
@@ -406,10 +490,29 @@ void ReteNetwork::DrainWaves() {
     // are bit-identical regardless of thread count. Nodes phase 1 did not
     // deliver (serial waves; foreign nodes, whose eager cascade must not
     // run on a worker) run their delivery here, in their ready position.
+    const int64_t barrier_start_ns = prof ? MonotonicNowNs() : 0;
+    const size_t wave_nodes = ready.size();
     for (size_t i = 0; i < ready.size(); ++i) {
       ReteNode* node = ready[i];
       NodeState& state = states_.at(node);
       if (!wave_parallel || !state.owned) DeliverPending(node, state);
+      if (prof && trace_ != nullptr &&
+          (state.prof_in_entries > 0 || !state.out.empty())) {
+        // One slice per node that did work this wave. Under a parallel
+        // wave the slices of one level overlap in time (they ran on
+        // different workers); they are appended here, at the serial
+        // barrier, so the buffer itself stays single-writer.
+        TraceEvent event;
+        event.name = node->KindName();
+        event.category = "node";
+        event.start_ns = state.prof_start_ns;
+        event.dur_ns = state.prof_dur_ns;
+        event.tid = 2;
+        event.args = StrCat("\"in\":", state.prof_in_entries,
+                            ",\"out\":", state.out.size(),
+                            ",\"level\":", state.level);
+        trace_->Append(std::move(event));
+      }
       FlushNode(node, state);
       node->OnWaveBarrier();  // deferred listener notifications etc.
       // Cleared only after the flush: emissions from the node's own wave
@@ -417,6 +520,27 @@ void ReteNetwork::DrainWaves() {
       state.queued = false;
     }
     ready.clear();
+    if (prof) {
+      const int64_t wave_end_ns = MonotonicNowNs();
+      ++drain_waves;
+      drain_entries += static_cast<int64_t>(queued_entries);
+      if (h_wave_ns_ != nullptr) {
+        h_wave_ns_->Record(wave_end_ns - wave_start_ns);
+      }
+      if (h_barrier_ns_ != nullptr) {
+        h_barrier_ns_->Record(wave_end_ns - barrier_start_ns);
+      }
+      if (trace_ != nullptr) {
+        TraceEvent event;
+        event.name = "wave";
+        event.start_ns = wave_start_ns;
+        event.dur_ns = wave_end_ns - wave_start_ns;
+        event.args = StrCat("\"level\":", level, ",\"nodes\":", wave_nodes,
+                            ",\"queued\":", queued_entries,
+                            ",\"parallel\":", wave_parallel ? 1 : 0);
+        trace_->Append(std::move(event));
+      }
+    }
   }
   // Safety net for productions fed through FlushNode's direct (non-
   // scheduled) delivery branch: they buffer notifications without ever
@@ -428,14 +552,35 @@ void ReteNetwork::DrainWaves() {
     }
   }
   draining_ = false;
+  if (prof) {
+    const int64_t drain_end_ns = MonotonicNowNs();
+    if (h_drain_ns_ != nullptr) {
+      h_drain_ns_->Record(drain_end_ns - drain_start_ns);
+    }
+    if (h_drain_entries_ != nullptr) h_drain_entries_->Record(drain_entries);
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.name = "drain";
+      event.start_ns = drain_start_ns;
+      event.dur_ns = drain_end_ns - drain_start_ns;
+      event.args = StrCat("\"waves\":", drain_waves,
+                          ",\"entries\":", drain_entries);
+      trace_->Append(std::move(event));
+    }
+  }
   // The network is quiescent and every result bag is consistent: commit.
   PublishEpochs();
 }
 
 void ReteNetwork::PublishEpochs() {
-  ++commit_epoch_;
+  const uint64_t epoch =
+      commit_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t published = 0;
   for (ProductionNode* production : productions_) {
-    production->PublishSnapshot(commit_epoch_, epoch_retention_);
+    if (production->PublishSnapshot(epoch, epoch_retention_)) ++published;
+  }
+  if (published > 0) {
+    epochs_published_.fetch_add(published, std::memory_order_relaxed);
   }
 }
 
@@ -551,6 +696,7 @@ ReteNetwork::PrimeStats ReteNetwork::PrimeNewNodes(
   // is empty — so rebuilding cannot drop sibling deltas.
   for (ReteNode* node : fresh_nodes) {
     node->set_emit_sink(batched ? this : nullptr);
+    node->set_profiling(profiling_);
   }
   for (ProductionNode* production : productions_) {
     production->set_defer_notifications(pool_ != nullptr);
@@ -646,6 +792,29 @@ size_t ReteNetwork::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& node : nodes_) bytes += node->ApproxMemoryBytes();
   return bytes;
+}
+
+std::vector<ReteNetwork::NodeMetrics> ReteNetwork::NodeMetricsSnapshot()
+    const {
+  std::vector<NodeMetrics> rows;
+  rows.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    NodeMetrics row;
+    row.name = node->DebugString();
+    row.kind = node->KindName();
+    row.level = node_level(node.get());
+    row.emitted_entries = node->emitted_entries();
+    const NodeProfile& profile = node->profile();
+    row.activations = profile.activations.load(std::memory_order_relaxed);
+    row.input_entries = profile.input_entries.load(std::memory_order_relaxed);
+    row.output_entries =
+        profile.output_entries.load(std::memory_order_relaxed);
+    row.busy_ns = profile.busy_ns.load(std::memory_order_relaxed);
+    row.last_ns = profile.last_ns.load(std::memory_order_relaxed);
+    row.memory_bytes = node->ApproxMemoryBytes();
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 std::string ReteNetwork::DebugString() const {

@@ -1,6 +1,7 @@
 #ifndef PGIVM_RETE_NETWORK_H_
 #define PGIVM_RETE_NETWORK_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,7 @@
 #include "rete/input_node.h"
 #include "rete/node.h"
 #include "rete/production_node.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
 
 namespace pgivm {
@@ -164,10 +166,62 @@ class ReteNetwork : public GraphListener, private EmitSink {
 
   /// Lifetime count of waves actually dispatched to the worker pool —
   /// waves the gate kept inline (and every serial-executor wave) do not
-  /// count. Observability for the gate and its tests.
+  /// count. Observability for the gate and its tests. Relaxed atomic:
+  /// readable from any thread mid-ingest.
   int64_t parallel_waves_dispatched() const {
-    return parallel_waves_dispatched_;
+    return parallel_waves_dispatched_.load(std::memory_order_relaxed);
   }
+
+  /// Turns per-node/per-drain propagation profiling on or off (see
+  /// NetworkOptions::profiling). May be flipped at any time between drains
+  /// on the writer thread; nodes added later inherit the current setting.
+  /// Off (the default) keeps the hot paths free of clock reads — the <2%
+  /// overhead contract bench_e9_observability enforces.
+  void set_profiling(bool on);
+  bool profiling() const { return profiling_; }
+
+  /// Lends the registry drain/serving histograms are recorded into while
+  /// profiling is on (owned by the ViewCatalog; one per engine). Must
+  /// outlive the network. Null = profiling records node profiles and trace
+  /// events only.
+  void set_metrics(MetricsRegistry* metrics);
+
+  /// Capacity (in events) of the profiling trace buffer; applies to the
+  /// buffer created at the next set_profiling(true). See
+  /// NetworkOptions::trace_capacity.
+  void set_trace_capacity(size_t capacity) { trace_capacity_ = capacity; }
+
+  /// The trace events recorded so far (null until profiling is first
+  /// enabled). Writer-thread-only, like every diagnostics accessor.
+  const TraceBuffer* trace() const { return trace_.get(); }
+
+  /// Lifetime count of fresh epoch objects productions actually published
+  /// (commits where some view's results changed re-publish that view; an
+  /// unchanged view keeps its previous epoch object and does not count).
+  /// Relaxed atomic: readable from any thread mid-ingest.
+  int64_t epochs_published() const {
+    return epochs_published_.load(std::memory_order_relaxed);
+  }
+
+  /// One row of NodeMetricsSnapshot(): a node's identity plus its lifetime
+  /// emission counter and (if profiling ever ran) its NodeProfile.
+  struct NodeMetrics {
+    std::string name;          // DebugString
+    const char* kind = "";     // KindName
+    int level = -1;            // batched topological level, -1 if none
+    int64_t emitted_entries = 0;
+    int64_t activations = 0;
+    int64_t input_entries = 0;
+    int64_t output_entries = 0;
+    int64_t busy_ns = 0;
+    int64_t last_ns = 0;
+    size_t memory_bytes = 0;
+  };
+
+  /// Per-node stats in node (bottom-up construction) order. Writer-thread-
+  /// only: ApproxMemoryBytes/DebugString read node memories that a
+  /// concurrent drain mutates.
+  std::vector<NodeMetrics> NodeMetricsSnapshot() const;
 
   /// How many *previous* published epochs each production keeps alive in
   /// addition to its current one (see ProductionNode::PublishSnapshot).
@@ -178,9 +232,13 @@ class ReteNetwork : public GraphListener, private EmitSink {
 
   /// The number of commit points this network has published: every drain /
   /// eager cascade / prime bumps it once and re-publishes each production
-  /// whose results changed. Written on the writer thread only; readers
-  /// learn epochs from the PublishedEpoch objects they pin, not from here.
-  uint64_t commit_epoch() const { return commit_epoch_; }
+  /// whose results changed. Written on the writer thread only; relaxed
+  /// atomic, so diagnostics may read it from any thread — readers still
+  /// learn their epoch from the PublishedEpoch objects they pin, not from
+  /// here.
+  uint64_t commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_relaxed);
+  }
 
   /// Starts maintaining against `graph` (see class comment). Requires a
   /// production node. Attaching while already attached is a no-op, as is
@@ -267,18 +325,30 @@ class ReteNetwork : public GraphListener, private EmitSink {
   std::string DebugString() const;
 
   size_t node_count() const { return nodes_.size(); }
-  int64_t deltas_processed() const { return deltas_processed_; }
-  int64_t changes_processed() const { return changes_processed_; }
+  int64_t deltas_processed() const {
+    return deltas_processed_.load(std::memory_order_relaxed);
+  }
+  int64_t changes_processed() const {
+    return changes_processed_.load(std::memory_order_relaxed);
+  }
 
   /// Lifetime sum of delta entries emitted by all nodes — the total
   /// propagation volume through this network (the FGN experiments' metric).
   /// Under kBatched, emissions are counted after consolidation, so
-  /// cancelled inverse pairs do not contribute.
+  /// cancelled inverse pairs do not contribute. Safe from any thread
+  /// (relaxed per-node atomics) as long as no registration mutates the
+  /// node set concurrently.
+  ///
+  /// Deprecated surface: prefer QueryEngine::MetricsSnapshot(), which
+  /// folds this into EngineMetricsSnapshot. Kept as a thin wrapper.
   int64_t TotalEmittedEntries() const;
 
   /// Lifetime sum of delta entries emitted by the graph-boundary source
   /// nodes only — the graph-read volume. The catalog differences this
   /// around priming to report graph-primed tuples (PrimeStats).
+  ///
+  /// Deprecated surface: prefer QueryEngine::MetricsSnapshot(), which
+  /// folds this into EngineMetricsSnapshot. Kept as a thin wrapper.
   int64_t SourceEmittedEntries() const;
 
   size_t source_count() const { return sources_.size(); }
@@ -312,6 +382,12 @@ class ReteNetwork : public GraphListener, private EmitSink {
     bool owned = false;
     std::vector<std::pair<int, PendingDelta>> pending;
     Delta out;
+    /// Profiling scratch, written by whichever thread ran DeliverPending
+    /// for the node this wave (single writer; the pool join is the
+    /// barrier) and turned into trace events at the serial merge phase.
+    int64_t prof_start_ns = 0;
+    int64_t prof_dur_ns = 0;
+    int64_t prof_in_entries = 0;
   };
 
   // EmitSink: buffers `from`'s emission for the current wave.
@@ -382,8 +458,10 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// The graph this network was first primed over; re-attachment is only
   /// valid to the same graph (source nodes capture it at construction).
   PropertyGraph* primed_graph_ = nullptr;
-  int64_t deltas_processed_ = 0;
-  int64_t changes_processed_ = 0;
+  /// Lifetime counters. Written on the writer thread only, but relaxed
+  /// atomics so serving threads may read them mid-ingest without racing.
+  std::atomic<int64_t> deltas_processed_{0};
+  std::atomic<int64_t> changes_processed_{0};
 
   PropagationStrategy propagation_ = PropagationStrategy::kBatched;
   ExecutorKind executor_ = ExecutorKind::kSerial;
@@ -397,11 +475,26 @@ class ReteNetwork : public GraphListener, private EmitSink {
   size_t consolidation_cutoff_ = kDefaultConsolidationCutoff;
   /// See set_epoch_retention / PublishEpochs.
   size_t epoch_retention_ = 0;
-  uint64_t commit_epoch_ = 0;
+  std::atomic<uint64_t> commit_epoch_{0};
+  std::atomic<int64_t> epochs_published_{0};
   /// See set_parallel_min_wave_entries; the builder/catalog overwrite this
   /// from NetworkOptions, so the default only covers hand-wired networks.
   size_t parallel_min_wave_entries_ = 8;
-  int64_t parallel_waves_dispatched_ = 0;
+  std::atomic<int64_t> parallel_waves_dispatched_{0};
+  /// See set_profiling. Read on the hot paths as a plain bool: flipped
+  /// only on the writer thread between drains.
+  bool profiling_ = false;
+  /// See set_metrics: the engine's registry plus the histograms this
+  /// network records into (resolved once so drains never lock).
+  MetricsRegistry* metrics_ = nullptr;
+  LatencyHistogram* h_drain_ns_ = nullptr;
+  LatencyHistogram* h_translate_ns_ = nullptr;
+  LatencyHistogram* h_wave_ns_ = nullptr;
+  LatencyHistogram* h_barrier_ns_ = nullptr;
+  LatencyHistogram* h_drain_entries_ = nullptr;
+  size_t trace_capacity_ = 1 << 16;
+  /// Created on the first set_profiling(true); see trace().
+  std::unique_ptr<TraceBuffer> trace_;
   /// Scratch for the wave loop: the owned subset of the level being
   /// drained (kept as a member so steady-state waves don't allocate).
   std::vector<ReteNode*> wave_scratch_;

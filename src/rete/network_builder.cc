@@ -358,35 +358,55 @@ Result<BuiltView> BuildViewInto(ReteNetwork* network, const OpPtr& plan,
   return view;
 }
 
+namespace {
+
+/// Strict integer parse shared by the environment overrides: the value
+/// must be entirely an integer and fit in int, or it is rejected with a
+/// stderr warning naming the variable. A malformed value must not silently
+/// resolve to some other setting ("8abc" is not 8; 99999999999 is not
+/// whatever it truncates to in int).
+bool ParseStrictEnvInt(const char* name, const char* env, int* out) {
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr, "pgivm: ignoring %s=\"%s\" (not an integer)\n",
+                 name, env);
+    return false;
+  }
+  if (errno == ERANGE || value > std::numeric_limits<int>::max() ||
+      value < std::numeric_limits<int>::min()) {
+    std::fprintf(stderr, "pgivm: ignoring %s=\"%s\" (out of range)\n", name,
+                 env);
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
 NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options) {
   const char* env = std::getenv("PGIVM_THREADS");
   if (env == nullptr || *env == '\0') return options;
-  // A malformed value must not silently resolve to some other thread
-  // count ("8abc" is not 8; 99999999999 is not whatever it truncates to
-  // in int) — warn and leave the configured options untouched.
-  errno = 0;
-  char* end = nullptr;
-  long threads = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0') {
-    std::fprintf(stderr,
-                 "pgivm: ignoring PGIVM_THREADS=\"%s\" (not an integer)\n",
-                 env);
-    return options;
-  }
-  if (errno == ERANGE || threads > std::numeric_limits<int>::max() ||
-      threads < std::numeric_limits<int>::min()) {
-    std::fprintf(stderr,
-                 "pgivm: ignoring PGIVM_THREADS=\"%s\" (out of range)\n",
-                 env);
-    return options;
-  }
+  int threads = 0;
+  if (!ParseStrictEnvInt("PGIVM_THREADS", env, &threads)) return options;
   if (threads > 1) {
     options.executor = ExecutorKind::kParallel;
-    options.num_threads = static_cast<int>(threads);
+    options.num_threads = threads;
   } else {
     options.executor = ExecutorKind::kSerial;
     options.num_threads = 1;
   }
+  return options;
+}
+
+NetworkOptions ApplyEnvProfilingOverride(NetworkOptions options) {
+  const char* env = std::getenv("PGIVM_PROFILE");
+  if (env == nullptr || *env == '\0') return options;
+  int value = 0;
+  if (!ParseStrictEnvInt("PGIVM_PROFILE", env, &value)) return options;
+  options.profiling = value != 0;
   return options;
 }
 
@@ -402,6 +422,8 @@ Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
   network->set_consolidation_cutoff(options.consolidation_cutoff);
   network->set_parallel_min_wave_entries(options.parallel_min_wave_entries);
   network->set_epoch_retention(options.epoch_retention);
+  network->set_trace_capacity(options.trace_capacity);
+  network->set_profiling(options.profiling);
   PGIVM_ASSIGN_OR_RETURN(
       BuiltView view,
       BuildViewInto(network.get(), plan, graph, options, nullptr));

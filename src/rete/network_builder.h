@@ -52,6 +52,21 @@ struct NetworkOptions {
   /// ReteNetwork::set_epoch_retention). 0 retires an epoch as soon as the
   /// last reader unpins it.
   size_t epoch_retention = 0;
+
+  /// Per-node/per-drain propagation profiling (see
+  /// ReteNetwork::set_profiling): node profiles, drain/wave/serving
+  /// histograms and Chrome-trace events. Off (the default) keeps every hot
+  /// path free of clock reads — bench_e9_observability holds the
+  /// profiling-off overhead under 2% on the e3 burst workload. Can also be
+  /// toggled at runtime (QueryEngine::set_profiling) and overridden by the
+  /// PGIVM_PROFILE environment variable (see ApplyEnvProfilingOverride).
+  bool profiling = false;
+
+  /// Capacity, in events, of each network's profiling trace buffer (plus
+  /// the engine's ingest-span buffer). Events past capacity are dropped
+  /// and counted, so a long profiled session truncates its trace instead
+  /// of growing without bound.
+  size_t trace_capacity = 1 << 16;
 };
 
 /// Returns `options` with the `PGIVM_THREADS` environment override applied:
@@ -67,6 +82,15 @@ struct NetworkOptions {
 /// time — resolves against the environment as it was at construction;
 /// BuildNetwork and hand-wired ReteNetworks take options as-given.
 NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options);
+
+/// Returns `options` with the `PGIVM_PROFILE` environment override applied:
+/// an integer value forces NetworkOptions::profiling on (non-zero) or off
+/// (zero) regardless of what the options said. Validated exactly like
+/// PGIVM_THREADS — a value that is not entirely an integer or does not fit
+/// in int is rejected with a stderr warning and the options pass through
+/// unchanged. Applied once per engine, at ViewCatalog::Create, alongside
+/// the executor override.
+NetworkOptions ApplyEnvProfilingOverride(NetworkOptions options);
 
 /// One view instantiated inside a (possibly multi-view) network: its
 /// production root plus every Rete node the view references — shared

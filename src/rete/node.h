@@ -2,6 +2,8 @@
 #define PGIVM_RETE_NODE_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -9,10 +11,55 @@
 
 #include "algebra/schema.h"
 #include "rete/delta.h"
+#include "support/metrics.h"
 
 namespace pgivm {
 
 class ReteNode;
+
+/// Per-node propagation profile, populated only while the owning network's
+/// profiling flag is on (NetworkOptions::profiling). Every field is a
+/// relaxed atomic: written by whichever single thread processes the node
+/// (the draining thread, or one pool worker during a parallel wave) and
+/// readable from any thread at any time without tearing.
+///
+/// Semantics per propagation mode:
+///  * kBatched — one RecordDelivery per wave the node participates in:
+///    `input_entries` counts consolidated entries delivered across its
+///    ports, `output_entries` its consolidated response, `busy_ns` the
+///    node's own wall time (exclusive — downstream work is not included),
+///    `last_ns` the most recent delivery's wall time (== the node's share
+///    of the last drain it ran in).
+///  * kEager — one RecordEagerDelivery per upstream Emit that reaches the
+///    node. Depth-first recursion makes the timing *inclusive* of
+///    everything downstream of the delivery; documented as such wherever
+///    eager profiles are rendered.
+struct NodeProfile {
+  std::atomic<int64_t> activations{0};
+  std::atomic<int64_t> input_entries{0};
+  std::atomic<int64_t> output_entries{0};
+  std::atomic<int64_t> busy_ns{0};
+  std::atomic<int64_t> last_ns{0};
+
+  void RecordDelivery(int64_t in, int64_t out, int64_t ns) {
+    activations.fetch_add(1, std::memory_order_relaxed);
+    input_entries.fetch_add(in, std::memory_order_relaxed);
+    output_entries.fetch_add(out, std::memory_order_relaxed);
+    busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    last_ns.store(ns, std::memory_order_relaxed);
+  }
+
+  void RecordEagerDelivery(int64_t in, int64_t ns) {
+    activations.fetch_add(1, std::memory_order_relaxed);
+    input_entries.fetch_add(in, std::memory_order_relaxed);
+    busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    last_ns.store(ns, std::memory_order_relaxed);
+  }
+
+  void RecordOutput(int64_t out) {
+    output_entries.fetch_add(out, std::memory_order_relaxed);
+  }
+};
 
 /// Interception point for node emissions. When a sink is installed on a
 /// node (batched propagation), Emit() hands the delta to the sink instead
@@ -134,8 +181,28 @@ class ReteNode {
   /// Short human-readable identity for diagnostics ("Join[p]", ...).
   virtual std::string DebugString() const = 0;
 
-  /// Lifetime count of tuple-delta entries this node has emitted.
-  int64_t emitted_entries() const { return emitted_entries_; }
+  /// Static operator-kind label ("Join", "Aggregate", ...). Never
+  /// allocates — safe to use in hot profiling paths and trace events.
+  virtual const char* KindName() const { return "Node"; }
+
+  /// Lifetime count of tuple-delta entries this node has emitted. Relaxed
+  /// atomic: safe to read from any thread while the writer thread (or an
+  /// ingest session's thread) keeps propagating.
+  int64_t emitted_entries() const {
+    return emitted_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// The propagation profile (see NodeProfile). Counters only advance
+  /// while the owning network's profiling flag is on; reads are safe from
+  /// any thread.
+  const NodeProfile& profile() const { return profile_; }
+  NodeProfile& profile() { return profile_; }
+
+  /// Set by the owning ReteNetwork (Attach/PrimeNewNodes/set_profiling):
+  /// when on, Emit's eager fan-out records per-delivery profiles. Batched
+  /// deliveries are profiled by the wave scheduler instead.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
 
  protected:
   /// Forwards `delta` to every subscriber (no-op for empty deltas). When a
@@ -145,15 +212,15 @@ class ReteNode {
   void Emit(const Delta& delta) {
     if (delta.empty()) return;
     if (outputs_.empty()) {  // terminal node: account, skip buffering
-      emitted_entries_ += static_cast<int64_t>(delta.size());
+      AddEmittedEntries(static_cast<int64_t>(delta.size()));
+      if (profiling_) profile_.RecordOutput(static_cast<int64_t>(delta.size()));
       return;
     }
     if (sink_ != nullptr) {
       sink_->OnEmit(this, delta);
       return;
     }
-    emitted_entries_ += static_cast<int64_t>(delta.size());
-    for (auto& [node, port] : outputs_) node->OnDelta(port, delta);
+    FanOut(delta);
   }
 
   /// Rvalue overload: hands the buffer to the sink without copying. Call
@@ -161,26 +228,48 @@ class ReteNode {
   void Emit(Delta&& delta) {
     if (delta.empty()) return;
     if (outputs_.empty()) {  // terminal node: account, skip buffering
-      emitted_entries_ += static_cast<int64_t>(delta.size());
+      AddEmittedEntries(static_cast<int64_t>(delta.size()));
+      if (profiling_) profile_.RecordOutput(static_cast<int64_t>(delta.size()));
       return;
     }
     if (sink_ != nullptr) {
       sink_->OnEmit(this, std::move(delta));
       return;
     }
-    emitted_entries_ += static_cast<int64_t>(delta.size());
-    for (auto& [node, port] : outputs_) node->OnDelta(port, delta);
+    FanOut(delta);
   }
 
  private:
   friend class ReteNetwork;  // accounts consolidated emissions on flush
 
-  void AddEmittedEntries(int64_t n) { emitted_entries_ += n; }
+  void AddEmittedEntries(int64_t n) {
+    emitted_entries_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// The eager (sink-less) fan-out: recurse into every subscriber. With
+  /// profiling on, each delivery is timed around the downstream OnDelta —
+  /// inclusive of everything it cascades into (see NodeProfile).
+  void FanOut(const Delta& delta) {
+    const int64_t entries = static_cast<int64_t>(delta.size());
+    AddEmittedEntries(entries);
+    if (!profiling_) {
+      for (auto& [node, port] : outputs_) node->OnDelta(port, delta);
+      return;
+    }
+    profile_.RecordOutput(entries);
+    for (auto& [node, port] : outputs_) {
+      const int64_t start = MonotonicNowNs();
+      node->OnDelta(port, delta);
+      node->profile_.RecordEagerDelivery(entries, MonotonicNowNs() - start);
+    }
+  }
 
   Schema schema_;
   std::vector<std::pair<ReteNode*, int>> outputs_;
   EmitSink* sink_ = nullptr;
-  int64_t emitted_entries_ = 0;
+  std::atomic<int64_t> emitted_entries_{0};
+  NodeProfile profile_;
+  bool profiling_ = false;
 };
 
 }  // namespace pgivm

@@ -143,6 +143,11 @@ void PathInputNode::HandleChange(const GraphChange& change) {
   switch (change.kind) {
     case GraphChange::Kind::kAddEdge: {
       if (!TypeMatches(change.edge_type)) return;
+      // A later change in the same batch may have removed this edge again
+      // (possibly detach-removing an endpoint, whose adjacency is gone from
+      // the post-batch graph the DFS walks). Every trail through it would be
+      // retracted by that change's kRemoveEdge, so skip the enumeration.
+      if (!graph_->HasEdge(change.edge)) return;
       // The new trails are exactly those through the new edge:
       // prefix · e · suffix, with prefix ending at e's pattern anchor and
       // suffix starting at its pattern successor, all edges distinct.

@@ -50,6 +50,7 @@ class PathInputNode : public ReteNode, public GraphSourceNode {
 
   size_t ApproxMemoryBytes() const override;
   std::string DebugString() const override;
+  const char* KindName() const override { return "PathInput"; }
 
   /// Number of materialized trails (excluding zero-length paths).
   size_t path_count() const { return paths_.size(); }

@@ -47,8 +47,9 @@ void ProductionNode::OnWaveBarrier() {
   deferred_notifications_.clear();
 }
 
-void ProductionNode::PublishSnapshot(uint64_t epoch, size_t retention) {
-  if (published_version_ == version_) return;  // unchanged since last commit
+bool ProductionNode::PublishSnapshot(uint64_t epoch, size_t retention) {
+  // Unchanged since the last commit: keep the previous epoch object.
+  if (published_version_ == version_) return false;
   auto next = std::make_shared<PublishedEpoch>();
   next->epoch = epoch;
   next->version = version_;
@@ -61,6 +62,7 @@ void ProductionNode::PublishSnapshot(uint64_t epoch, size_t retention) {
   }
   std::atomic_store_explicit(&published_, EpochPtr(std::move(next)),
                              std::memory_order_release);
+  return true;
 }
 
 ProductionNode::EpochPtr ProductionNode::PinSnapshot() const {

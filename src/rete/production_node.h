@@ -115,7 +115,10 @@ class ProductionNode : public ReteNode {
   /// current one, so a reader re-pinning within a short window can still
   /// compare against recent history; beyond that, an epoch lives exactly
   /// as long as some reader pins it (shared_ptr refcount retires it).
-  void PublishSnapshot(uint64_t epoch, size_t retention);
+  ///
+  /// Returns true when a fresh epoch object was published, false when the
+  /// previous one was kept — the network counts published epochs with it.
+  bool PublishSnapshot(uint64_t epoch, size_t retention);
 
   /// Pins the last published epoch. Safe to call from any thread, at any
   /// time, concurrently with a drain on the writer thread — publication is
@@ -141,6 +144,7 @@ class ProductionNode : public ReteNode {
   }
 
   std::string DebugString() const override { return "Production"; }
+  const char* KindName() const override { return "Production"; }
 
  private:
   Bag results_;

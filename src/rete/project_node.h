@@ -19,6 +19,7 @@ class ProjectNode : public ReteNode {
   void OnDelta(int port, const Delta& delta) override;
 
   std::string DebugString() const override { return "Project"; }
+  const char* KindName() const override { return "Project"; }
 
  private:
   std::vector<BoundExpression> columns_;

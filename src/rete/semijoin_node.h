@@ -30,6 +30,7 @@ class SemiJoinNode : public ReteNode {
   size_t ApproxMemoryBytes() const override;
 
   std::string DebugString() const override { return "SemiJoin"; }
+  const char* KindName() const override { return "SemiJoin"; }
 
  private:
   JoinLayout layout_;

@@ -18,6 +18,7 @@ class UnionNode : public ReteNode {
   }
 
   std::string DebugString() const override { return "Union"; }
+  const char* KindName() const override { return "Union"; }
 };
 
 }  // namespace pgivm

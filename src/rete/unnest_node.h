@@ -32,6 +32,7 @@ class UnnestNode : public ReteNode {
   void OnDelta(int port, const Delta& delta) override;
 
   std::string DebugString() const override;
+  const char* KindName() const override { return "Unnest"; }
 
  private:
   /// Appends the elements of `tuple`'s collection (list → elements, null →

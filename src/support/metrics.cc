@@ -1,0 +1,217 @@
+#include "support/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+int64_t MonotonicNowNs() {
+  // The origin is captured on the first call (thread-safe static init), so
+  // every timestamp in the process shares one timebase and trace events
+  // from different threads line up.
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+size_t LatencyHistogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  // 1 + floor(log2(value)): value 1 -> bucket 1, [2,3] -> 2, [4,7] -> 3...
+  size_t index = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v != 0) {
+    v >>= 1;
+    ++index;
+  }
+  return index < kHistogramBuckets ? index : kHistogramBuckets - 1;
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value > 0 ? value : 0, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+int64_t HistogramSnapshot::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 63) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << index) - 1;
+}
+
+int64_t HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) return 0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested sample, 1-based: ceil(p * count), at least 1.
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count));
+  if (static_cast<double>(rank) < p * static_cast<double>(count)) ++rank;
+  if (rank < 1) rank = 1;
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      int64_t upper = BucketUpperBound(i);
+      // The true sample is somewhere in the bucket; the observed maximum
+      // tightens the top bucket (and any percentile) exactly.
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->value());
+  }
+  return values;  // std::map iteration: already name-ordered
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> values;
+  values.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    values.emplace_back(name, histogram->Snapshot());
+  }
+  return values;
+}
+
+bool TraceBuffer::Append(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(event));
+  return true;
+}
+
+void TraceBuffer::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Minimal JSON string escaping for event names (quotes, backslashes and
+/// control characters; everything else passes through byte-for-byte).
+void AppendJsonEscaped(const std::string& in, std::string& out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<const TraceBuffer*>& buffers) {
+  std::string json;
+  json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceBuffer* buffer : buffers) {
+    if (buffer == nullptr) continue;
+    for (const TraceEvent& event : buffer->events()) {
+      if (!first) json += ',';
+      first = false;
+      json += "\n{\"name\":\"";
+      AppendJsonEscaped(event.name, json);
+      json += "\",\"cat\":\"";
+      json += event.category;
+      json += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      json += std::to_string(event.tid);
+      // chrome://tracing consumes microseconds; keep nanosecond precision
+      // as a fraction.
+      char ts[64];
+      std::snprintf(ts, sizeof(ts), ",\"ts\":%lld.%03lld,\"dur\":%lld.%03lld",
+                    static_cast<long long>(event.start_ns / 1000),
+                    static_cast<long long>(event.start_ns % 1000),
+                    static_cast<long long>(event.dur_ns / 1000),
+                    static_cast<long long>(event.dur_ns % 1000));
+      json += ts;
+      if (!event.args.empty()) {
+        json += ",\"args\":{";
+        json += event.args;
+        json += '}';
+      }
+      json += '}';
+    }
+  }
+  json += "\n]}\n";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal(StrCat("cannot open trace file: ", path));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  int closed = std::fclose(file);
+  if (written != json.size() || closed != 0) {
+    return Status::Internal(StrCat("short write to trace file: ", path));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pgivm

@@ -120,6 +120,11 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
     // waves serial here; WaveGating covers the gate's own parity.
     options.network.parallel_min_wave_entries = 0;
   }
+  // The engine under test runs fully profiled while the reference does
+  // not: every bit-identity assertion below then also proves profiling
+  // changes no result, across seeds × strategies × thread counts — and
+  // the TSAN cases race the profile/histogram writes for free.
+  options.network.profiling = true;
 
   PropertyGraph graph;
   RandomGraphConfig config;

@@ -63,6 +63,59 @@ TEST(IncrementalSemanticsTest, DetachDeleteCascadesThroughJoins) {
   EXPECT_EQ(view->size(), 0);
 }
 
+TEST(IncrementalSemanticsTest, EdgeAddedAndEndpointDetachedInOneBatch) {
+  // The delta carries kAddEdge for an edge whose endpoint is dead in the
+  // post-batch graph (added, replied-to, then detach-removed before the
+  // commit). The edge leaf extracts endpoint properties from the live
+  // graph, so the add must be skipped, not dereferenced.
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine
+                  .Register("MATCH (p:Post)-[:REPLY]->(c:Comm) "
+                            "WHERE p.lang = c.lang RETURN p, c")
+                  .value();
+  VertexId post = graph.AddVertex({"Post"}, {{"lang", Value::String("en")}});
+
+  graph.BeginBatch();
+  VertexId gone = graph.AddVertex({"Comm"}, {{"lang", Value::String("en")}});
+  (void)graph.AddEdge(post, gone, "REPLY").value();
+  VertexId kept = graph.AddVertex({"Comm"}, {{"lang", Value::String("en")}});
+  (void)graph.AddEdge(post, kept, "REPLY").value();
+  ASSERT_TRUE(graph.DetachRemoveVertex(gone).ok());
+  graph.CommitBatch();
+
+  // Only the surviving reply matches; the transient one left no residue.
+  EXPECT_EQ(view->size(), 1);
+}
+
+TEST(IncrementalSemanticsTest, PathEdgeAddedAndEndpointDetachedInOneBatch) {
+  // Same batch shape against the transitive path node: its kAddEdge
+  // handling DFS-walks the post-batch graph from the new edge's endpoints,
+  // which must not touch a vertex the batch later detach-removed.
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine
+                  .Register("MATCH (p:Post)-[:REPLY*]->(c:Comm) "
+                            "RETURN p, c")
+                  .value();
+  VertexId post = graph.AddVertex({"Post"});
+  VertexId c1 = graph.AddVertex({"Comm"});
+  (void)graph.AddEdge(post, c1, "REPLY").value();
+  EXPECT_EQ(view->size(), 1);
+
+  graph.BeginBatch();
+  VertexId gone = graph.AddVertex({"Comm"});
+  (void)graph.AddEdge(c1, gone, "REPLY").value();
+  VertexId c2 = graph.AddVertex({"Comm"});
+  (void)graph.AddEdge(c1, c2, "REPLY").value();
+  ASSERT_TRUE(graph.DetachRemoveVertex(gone).ok());
+  graph.CommitBatch();
+
+  // Surviving trails: post->c1, post->c1->c2, c1->c2... restricted to
+  // (Post, Comm) endpoints: post->c1 and post->*->c2.
+  EXPECT_EQ(view->size(), 2);
+}
+
 TEST(IncrementalSemanticsTest, EndpointPropertyUpdateRefreshesEdgeLeaf) {
   // `b.w` is extracted at the GetEdges leaf (b has no GetVertices leaf of
   // its own when unlabelled); updating b.w must refresh edge tuples.

@@ -348,5 +348,73 @@ TEST(ServingIngest, DestructorStopsIngestAndDrains) {
   EXPECT_EQ(rows[0].at(0), Value::Int(25));
 }
 
+/// Regression for the lifetime-counter races: ingest_mutations()/
+/// ingest_batches() (engine) and the network's diagnostic counters
+/// (TotalEmittedEntries, SourceEmittedEntries, commit_epoch,
+/// deltas_processed, changes_processed, parallel_waves_dispatched,
+/// epochs_published) used to be plain int64 fields written by the
+/// ingest/draining thread — reading them from a monitoring thread
+/// mid-session was a data race. They are atomics now; under TSAN this
+/// test is the proof.
+TEST(ServingIngest, CounterReadsDuringIngestAreRaceFree) {
+  ScopedThreadsEnv no_env(nullptr);
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  auto view = engine.Register("MATCH (n:A) RETURN count(*) AS c");
+  ASSERT_TRUE(view.ok()) << view.status();
+  const ReteNetwork* network = engine.catalog().shared_network();
+  ASSERT_NE(network, nullptr);
+
+  engine.StartIngest();
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 150;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> monitors;
+  for (int t = 0; t < 4; ++t) {
+    monitors.emplace_back([&engine, network, &done] {
+      int64_t last_mutations = 0;
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        // Engine counters: monotone while the session runs.
+        int64_t mutations = engine.ingest_mutations();
+        EXPECT_GE(mutations, last_mutations);
+        last_mutations = mutations;
+        EXPECT_GE(engine.ingest_batches(), 0);
+        // Network counters, racing the ingest thread's drains.
+        EXPECT_GE(network->TotalEmittedEntries(), 0);
+        EXPECT_GE(network->SourceEmittedEntries(), 0);
+        EXPECT_GE(network->deltas_processed(), 0);
+        EXPECT_GE(network->changes_processed(), 0);
+        EXPECT_GE(network->parallel_waves_dispatched(), 0);
+        EXPECT_GE(network->epochs_published(), 0);
+        uint64_t epoch = network->commit_epoch();
+        EXPECT_GE(epoch, last_epoch);
+        last_epoch = epoch;
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(engine.SubmitAsync(
+            [](PropertyGraph& g) { g.AddVertex({"A"}); }));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  engine.StopIngest();
+  done.store(true, std::memory_order_release);
+  for (std::thread& monitor : monitors) monitor.join();
+
+  constexpr int64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(engine.ingest_mutations(), kTotal);
+  EXPECT_GE(engine.ingest_batches(), 1);
+  EXPECT_EQ((*view)->size(), 1);
+  EXPECT_EQ((*view)->Snapshot()[0].at(0), Value::Int(kTotal));
+}
+
 }  // namespace
 }  // namespace pgivm
