@@ -1,0 +1,163 @@
+// E10 — morsel-style intra-drain parallelism under key skew.
+//
+// The wave scheduler's node-level parallelism assigns whole nodes to
+// threads, so a Zipf-skewed update stream that funnels through a handful
+// of hot nodes (one join, one aggregate) serializes the drain no matter
+// how many workers the pool has. Morsel-style delivery splits exactly
+// those hot nodes by key partition. This benchmark measures the drain
+// under that adversarial shape: a hub-centered two-hop join plus a
+// group-by-hub aggregate, fed bursts whose endpoints are Zipf-selected —
+// most updates hit the same few hubs.
+//
+// Dimensions: threads {1, 2, 8} × morsel {off, on}. `morsel=0` pins
+// partitions to 1 (node-level scheduling only — the pre-morsel engine);
+// `morsel=1` forces the partitioned path (node-entry gate 0). The
+// speedup criterion compares t8/morsel1 against t8/morsel0; both sit on
+// identical update streams (fixed RNG seed), so the delta is scheduling
+// only. Counters report how many waves actually split.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.h"
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "engine/query_engine.h"
+
+namespace pgivm {
+namespace {
+
+constexpr char kJoinQuery[] =
+    "MATCH (a:A)-[:R]->(h:H)-[:S]->(c:C) RETURN a, h, c";
+constexpr char kAggQuery[] =
+    "MATCH (a:A)-[:R]->(h:H) RETURN h AS hub, count(*) AS c";
+
+constexpr int kHubs = 64;
+constexpr int kFansPerHub = 4;     // initial C fan-out behind every hub
+constexpr int kInitialEdges = 2000;
+constexpr int kBurst = 256;        // edges added (and removed) per batch
+constexpr double kZipfExponent = 1.2;
+
+/// Zipf(s) over [0, n): rank-1 mass ≈ 35% at s=1.2, n=64 — the hot-hub
+/// shape. Inverse-CDF over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cumulative_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cumulative_[static_cast<size_t>(k)] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  int Sample(std::mt19937_64& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+struct SkewFixture {
+  SkewFixture(int threads, bool morsel)
+      : engine(&graph, Options(threads, morsel)), zipf(kHubs, kZipfExponent),
+        rng(0x5eedULL) {
+    for (int h = 0; h < kHubs; ++h) {
+      hubs.push_back(graph.AddVertex({"H"}));
+      for (int f = 0; f < kFansPerHub; ++f) {
+        VertexId c = graph.AddVertex({"C"});
+        (void)graph.AddEdge(hubs.back(), c, "S").value();
+      }
+    }
+    graph.BeginBatch();
+    for (int i = 0; i < kInitialEdges; ++i) AddZipfEdge();
+    graph.CommitBatch();
+    join_view = engine.Register(kJoinQuery).value();
+    agg_view = engine.Register(kAggQuery).value();
+  }
+
+  static EngineOptions Options(int threads, bool morsel) {
+    EngineOptions options;
+    if (threads > 1) {
+      options.network.executor = ExecutorKind::kParallel;
+      options.network.num_threads = threads;
+      options.network.parallel_min_wave_entries = 0;
+    }
+    if (morsel) {
+      options.network.morsel_min_node_entries = 0;  // split every hot node
+    } else {
+      options.network.morsel_partitions = 1;  // node-level scheduling only
+    }
+    return options;
+  }
+
+  void AddZipfEdge() {
+    VertexId a = graph.AddVertex({"A"});
+    VertexId hub = hubs[static_cast<size_t>(zipf.Sample(rng))];
+    live_edges.push_back(graph.AddEdge(a, hub, "R").value());
+  }
+
+  /// One steady-state burst: kBurst Zipf-keyed additions plus kBurst
+  /// oldest removals, committed (and drained) as one batch.
+  void ApplyBurst() {
+    graph.BeginBatch();
+    for (int i = 0; i < kBurst; ++i) AddZipfEdge();
+    size_t removals = live_edges.size() > static_cast<size_t>(kInitialEdges)
+                          ? static_cast<size_t>(kBurst)
+                          : 0;
+    for (size_t i = 0; i < removals; ++i) {
+      (void)graph.RemoveEdge(live_edges[next_removal + i]);
+    }
+    next_removal += removals;
+    graph.CommitBatch();
+  }
+
+  PropertyGraph graph;
+  QueryEngine engine;
+  ZipfSampler zipf;
+  std::mt19937_64 rng;
+  std::vector<VertexId> hubs;
+  std::vector<EdgeId> live_edges;
+  size_t next_removal = 0;
+  std::shared_ptr<View> join_view;
+  std::shared_ptr<View> agg_view;
+};
+
+/// Drain latency per Zipf burst. items_per_second is graph changes
+/// propagated per second (kBurst adds + kBurst removes per iteration at
+/// steady state).
+void BM_E10_ZipfBurstDrain(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool morsel = state.range(1) != 0;
+  SkewFixture f(threads, morsel);
+  for (auto _ : state) {
+    f.ApplyBurst();
+    benchmark::DoNotOptimize(f.join_view->size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kBurst);
+  const EngineMetricsSnapshot metrics = f.engine.MetricsSnapshot();
+  state.counters["morsel_waves"] =
+      static_cast<double>(metrics.morsel_waves_dispatched);
+  state.counters["parallel_waves"] =
+      static_cast<double>(metrics.parallel_waves_dispatched);
+  state.counters["join_rows"] = static_cast<double>(f.join_view->size());
+}
+BENCHMARK(BM_E10_ZipfBurstDrain)
+    ->ArgNames({"threads", "morsel"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
+}  // namespace
+}  // namespace pgivm
+
+PGIVM_BENCHMARK_MAIN();

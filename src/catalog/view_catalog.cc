@@ -43,11 +43,13 @@ std::string CatalogStats::ToString() const {
 std::shared_ptr<ViewCatalog> ViewCatalog::Create(
     PropertyGraph* graph, NetworkOptions network_options,
     CatalogOptions options) {
-  // PGIVM_THREADS / PGIVM_PROFILE win over programmatic configuration for
-  // every network this catalog creates (shared or per-view).
+  // PGIVM_THREADS / PGIVM_PROFILE / PGIVM_MORSEL win over programmatic
+  // configuration for every network this catalog creates (shared or
+  // per-view).
   return std::shared_ptr<ViewCatalog>(new ViewCatalog(
       graph,
-      ApplyEnvProfilingOverride(ApplyEnvExecutorOverride(network_options)),
+      ApplyEnvMorselOverride(ApplyEnvProfilingOverride(
+          ApplyEnvExecutorOverride(network_options))),
       options));
 }
 
@@ -77,6 +79,9 @@ Result<std::shared_ptr<View>> ViewCatalog::Install(std::string query,
           network_options_.consolidation_cutoff);
       network_->set_parallel_min_wave_entries(
           network_options_.parallel_min_wave_entries);
+      network_->set_morsel_min_node_entries(
+          network_options_.morsel_min_node_entries);
+      network_->set_morsel_partitions(network_options_.morsel_partitions);
       network_->set_epoch_retention(network_options_.epoch_retention);
       network_->set_thread_pool(EnginePool());
       network_->set_metrics(metrics_.get());

@@ -242,6 +242,7 @@ Result<std::string> QueryEngine::ExplainAnalyze(std::string_view cypher,
     return node == nullptr ? std::string() : NodeStatsAnnotation(*node);
   };
   const ReteNetwork::PrimeStats& prime = view.prime_stats();
+  const EngineMetricsSnapshot metrics = MetricsSnapshot();
   std::string report = StrCat(
       "EXPLAIN ANALYZE ", view.query(), "\n",
       PrintPlan(view.fra_plan(), print),
@@ -251,7 +252,9 @@ Result<std::string> QueryEngine::ExplainAnalyze(std::string_view cypher,
       "prime: replayed=", prime.replayed_entries,
       " graph=", prime.graph_primed_entries,
       " fresh_nodes=", prime.fresh_nodes, "\n",
-      "catalog: ", catalog_->Stats().ToString(), "\n");
+      "catalog: ", catalog_->Stats().ToString(), "\n",
+      "propagation: parallel_waves=", metrics.parallel_waves_dispatched,
+      " morsel_waves=", metrics.morsel_waves_dispatched, "\n");
   // Deregister the probe view (refcounts restore; siblings untouched),
   // then restore the profiling flag.
   probe->reset();
@@ -269,6 +272,7 @@ EngineMetricsSnapshot QueryEngine::MetricsSnapshot() const {
     snap.total_emitted_entries += network->TotalEmittedEntries();
     snap.source_emitted_entries += network->SourceEmittedEntries();
     snap.parallel_waves_dispatched += network->parallel_waves_dispatched();
+    snap.morsel_waves_dispatched += network->morsel_waves_dispatched();
     snap.epochs_published += network->epochs_published();
     snap.commit_epoch = std::max(snap.commit_epoch, network->commit_epoch());
     std::vector<ReteNetwork::NodeMetrics> nodes =
@@ -294,6 +298,7 @@ std::string EngineMetricsSnapshot::ToString() const {
      << " emitted=" << total_emitted_entries
      << " source_emitted=" << source_emitted_entries
      << " parallel_waves=" << parallel_waves_dispatched
+     << " morsel_waves=" << morsel_waves_dispatched
      << " epoch=" << commit_epoch
      << " epochs_published=" << epochs_published << "\n";
   os << "ingest: mutations=" << ingest_mutations

@@ -41,6 +41,9 @@ struct EngineMetricsSnapshot {
   int64_t total_emitted_entries = 0;
   int64_t source_emitted_entries = 0;
   int64_t parallel_waves_dispatched = 0;
+  /// Waves in which at least one hot node's delivery was split into
+  /// key-partitioned morsels (see NetworkOptions::morsel_min_node_entries).
+  int64_t morsel_waves_dispatched = 0;
   int64_t epochs_published = 0;
   /// Highest committed epoch across networks.
   uint64_t commit_epoch = 0;

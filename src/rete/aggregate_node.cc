@@ -146,44 +146,50 @@ Tuple AggregateNode::RenderRow(const Tuple& key,
 
 void AggregateNode::EmitInitial() {
   if (!keys_.empty()) return;
-  GroupState& group = groups_[Tuple()];
+  GroupState& group = groups_.shard(Tuple())[Tuple()];
   group.aggs.resize(aggregates_.size());
   Emit({{RenderRow(Tuple(), group), 1}});
 }
 
-void AggregateNode::OnDelta(int port, const Delta& delta) {
-  (void)port;
+void AggregateNode::ProcessEntries(const Delta& delta, const uint32_t* map,
+                                   uint32_t partition, Delta& out) {
   // Phase 1: capture each touched group's pre-batch row, apply all updates.
   std::unordered_map<Tuple, std::optional<Tuple>, TupleHash> old_rows;
-  for (const DeltaEntry& entry : delta) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (map != nullptr && map[i] != partition) continue;
+    const DeltaEntry& entry = delta[i];
     Tuple key = KeyOf(entry.tuple);
-    auto it = groups_.find(key);
+    auto& shard = groups_.shard(key);
+    auto it = shard.find(key);
     if (old_rows.find(key) == old_rows.end()) {
-      if (it != groups_.end()) {
+      if (it != shard.end()) {
         old_rows.emplace(key, RenderRow(key, it->second));
       } else {
         old_rows.emplace(key, std::nullopt);
       }
     }
-    if (it == groups_.end()) {
-      it = groups_.emplace(key, GroupState{}).first;
+    if (it == shard.end()) {
+      it = shard.emplace(key, GroupState{}).first;
       it->second.aggs.resize(aggregates_.size());
     }
     GroupState& group = it->second;
     group.total_rows += entry.multiplicity;
-    for (size_t i = 0; i < aggregates_.size(); ++i) {
-      const AggregateSpec& spec = aggregates_[i];
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateSpec& spec = aggregates_[a];
       if (spec.kind == AggregateSpec::Kind::kCountStar) continue;
-      group.aggs[i].Apply(spec.arg->Eval(entry.tuple), entry.multiplicity);
+      group.aggs[a].Apply(spec.arg->Eval(entry.tuple), entry.multiplicity);
     }
   }
 
   // Phase 2: emit row transitions per touched group. A key-less aggregation
-  // keeps its single row alive even at zero input rows.
-  Delta out;
+  // keeps its single row alive even at zero input rows. Distinct groups
+  // never render equal rows (the key values prefix the row), so emission
+  // order across groups is irrelevant — the scheduler's consolidation
+  // restores canonical order regardless of partitioning.
   for (const auto& [key, old_row] : old_rows) {
-    auto it = groups_.find(key);
-    assert(it != groups_.end());
+    auto& shard = groups_.shard(key);
+    auto it = shard.find(key);
+    assert(it != shard.end());
     GroupState& group = it->second;
     assert(group.total_rows >= 0 && "group row count went negative");
     bool group_alive = group.total_rows > 0 || keys_.empty();
@@ -199,19 +205,42 @@ void AggregateNode::OnDelta(int port, const Delta& delta) {
     } else if (new_row.has_value()) {
       out.push_back({*new_row, 1});
     }
-    if (group.total_rows == 0 && !keys_.empty()) groups_.erase(it);
+    if (group.total_rows == 0 && !keys_.empty()) shard.erase(it);
   }
+}
+
+void AggregateNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  Delta out;
+  ProcessEntries(delta, /*map=*/nullptr, /*partition=*/0, out);
   Emit(std::move(out));
 }
 
-bool AggregateNode::ReplayOutput(Delta& out) const {
-  for (const auto& [key, group] : groups_) {
-    if (group.total_rows <= 0 && !keys_.empty()) continue;
-    out.push_back({RenderRow(key, group), 1});
+void AggregateNode::MorselPartitionMap(int port, const Delta& delta,
+                                       uint32_t partitions, size_t begin,
+                                       size_t end, uint32_t* map) const {
+  (void)port;
+  for (size_t i = begin; i < end; ++i) {
+    map[i] = MorselPartitionOfHash(KeyOf(delta[i].tuple).Hash(), partitions);
   }
+}
+
+void AggregateNode::OnDeltaMorsel(int port, const Delta& delta,
+                                  const uint32_t* map, uint32_t partition,
+                                  uint32_t partitions, Delta& out) {
+  (void)port;
+  (void)partitions;
+  ProcessEntries(delta, map, partition, out);
+}
+
+bool AggregateNode::ReplayOutput(Delta& out) const {
+  groups_.ForEach([&](const Tuple& key, const GroupState& group) {
+    if (group.total_rows <= 0 && !keys_.empty()) return;
+    out.push_back({RenderRow(key, group), 1});
+  });
   // A key-less aggregation that was never attached (EmitInitial pending)
   // has no group yet; its current output is still the empty-input row.
-  if (keys_.empty() && groups_.empty()) {
+  if (keys_.empty() && groups_.size() == 0) {
     GroupState empty;
     empty.aggs.resize(aggregates_.size());
     out.push_back({RenderRow(Tuple(), empty), 1});
@@ -221,12 +250,12 @@ bool AggregateNode::ReplayOutput(Delta& out) const {
 
 size_t AggregateNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& [key, group] : groups_) {
+  groups_.ForEach([&](const Tuple& key, const GroupState& group) {
     bytes += sizeof(Tuple) + key.size() * sizeof(Value) + sizeof(GroupState);
     for (const AggState& agg : group.aggs) {
       bytes += agg.values.size() * (sizeof(Value) + sizeof(int64_t) + 48);
     }
-  }
+  });
   return bytes;
 }
 

@@ -8,6 +8,7 @@
 
 #include "rete/expression_eval.h"
 #include "rete/node.h"
+#include "rete/sharded_map.h"
 
 namespace pgivm {
 
@@ -40,6 +41,19 @@ class AggregateNode : public ReteNode {
                 std::vector<AggregateSpec> aggregates);
 
   void OnDelta(int port, const Delta& delta) override;
+
+  /// Keyed aggregations partition by group key (equal keys share one
+  /// partition, so each group's state has a single writer). A key-less
+  /// aggregation has one group — nothing to split.
+  MorselKind morsel_kind() const override {
+    return keys_.empty() ? MorselKind::kNone : MorselKind::kKeyed;
+  }
+  void MorselPartitionMap(int port, const Delta& delta, uint32_t partitions,
+                          size_t begin, size_t end,
+                          uint32_t* map) const override;
+  void OnDeltaMorsel(int port, const Delta& delta, const uint32_t* map,
+                     uint32_t partition, uint32_t partitions,
+                     Delta& out) override;
 
   /// Emits the empty-input row of a key-less aggregation. Called once by
   /// the network before any input delta.
@@ -77,9 +91,14 @@ class AggregateNode : public ReteNode {
   Tuple KeyOf(const Tuple& input) const;
   Tuple RenderRow(const Tuple& key, const GroupState& group) const;
 
+  void ProcessEntries(const Delta& delta, const uint32_t* map,
+                      uint32_t partition, Delta& out);
+
   std::vector<BoundExpression> keys_;
   std::vector<AggregateSpec> aggregates_;
-  std::unordered_map<Tuple, GroupState, TupleHash> groups_;
+  /// Group key -> state, sharded by key hash so morsel partitions (which
+  /// own disjoint key sets) mutate disjoint shards.
+  ShardedTupleMap<GroupState> groups_;
 };
 
 }  // namespace pgivm

@@ -8,58 +8,86 @@ AntiJoinNode::AntiJoinNode(Schema schema, const Schema& left,
                            const Schema& right)
     : ReteNode(std::move(schema)), layout_(JoinLayout::Make(left, right)) {}
 
-void AntiJoinNode::OnDelta(int port, const Delta& delta) {
-  Delta out;
-  for (const DeltaEntry& entry : delta) {
+void AntiJoinNode::ProcessEntries(int port, const Delta& delta,
+                                  const uint32_t* map, uint32_t partition,
+                                  Delta& out) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (map != nullptr && map[i] != partition) continue;
+    const DeltaEntry& entry = delta[i];
     if (port == 0) {
       Tuple key = entry.tuple.Project(layout_.left_key);
-      Bag& bag = left_memory_[key];
+      auto& shard = left_memory_.shard(key);
+      Bag& bag = shard[key];
       bag.Apply(entry.tuple, entry.multiplicity);
-      if (bag.total_count() == 0) left_memory_.erase(key);
-      auto it = right_support_.find(key);
-      if (it == right_support_.end() || it->second == 0) {
+      if (bag.total_count() == 0) shard.erase(key);
+      const int64_t* support = right_support_.Find(key);
+      if (support == nullptr || *support == 0) {
         out.push_back(entry);
       }
     } else {
       Tuple key = entry.tuple.Project(layout_.right_key);
-      int64_t& support = right_support_[key];
+      auto& shard = right_support_.shard(key);
+      int64_t& support = shard[key];
       int64_t old_support = support;
       support += entry.multiplicity;
       assert(support >= 0 && "anti-join right support went negative");
-      if (support == 0) right_support_.erase(key);
+      if (support == 0) shard.erase(key);
       bool was_absent = old_support == 0;
       bool is_absent = old_support + entry.multiplicity == 0;
       if (was_absent == is_absent) continue;
-      auto it = left_memory_.find(key);
-      if (it == left_memory_.end()) continue;
+      const Bag* lefts = left_memory_.Find(key);
+      if (lefts == nullptr) continue;
       // Key gained its first partner: retract the lefts; lost its last
       // partner: re-assert them.
       int64_t sign = was_absent ? -1 : 1;
-      for (const auto& [left_tuple, count] : it->second.counts()) {
+      for (const auto& [left_tuple, count] : lefts->counts()) {
         out.push_back({left_tuple, sign * count});
       }
     }
   }
+}
+
+void AntiJoinNode::OnDelta(int port, const Delta& delta) {
+  Delta out;
+  ProcessEntries(port, delta, /*map=*/nullptr, /*partition=*/0, out);
   Emit(std::move(out));
 }
 
+void AntiJoinNode::MorselPartitionMap(int port, const Delta& delta,
+                                      uint32_t partitions, size_t begin,
+                                      size_t end, uint32_t* map) const {
+  const std::vector<int>& key =
+      port == 0 ? layout_.left_key : layout_.right_key;
+  for (size_t i = begin; i < end; ++i) {
+    map[i] = MorselPartitionOfHash(delta[i].tuple.HashProjected(key),
+                                   partitions);
+  }
+}
+
+void AntiJoinNode::OnDeltaMorsel(int port, const Delta& delta,
+                                 const uint32_t* map, uint32_t partition,
+                                 uint32_t partitions, Delta& out) {
+  (void)partitions;
+  ProcessEntries(port, delta, map, partition, out);
+}
+
 bool AntiJoinNode::ReplayOutput(Delta& out) const {
-  for (const auto& [key, bag] : left_memory_) {
-    auto it = right_support_.find(key);
-    if (it != right_support_.end() && it->second > 0) continue;
+  left_memory_.ForEach([&](const Tuple& key, const Bag& bag) {
+    const int64_t* support = right_support_.Find(key);
+    if (support != nullptr && *support > 0) return;
     for (const auto& [left_tuple, count] : bag.counts()) {
       out.push_back({left_tuple, count});
     }
-  }
+  });
   return true;
 }
 
 size_t AntiJoinNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& [key, bag] : left_memory_) {
+  left_memory_.ForEach([&](const Tuple& key, const Bag& bag) {
     bytes += sizeof(Tuple) + key.size() * sizeof(Value);
     bytes += bag.ApproxMemoryBytes();
-  }
+  });
   bytes += right_support_.size() * (sizeof(Tuple) + sizeof(int64_t));
   return bytes;
 }

@@ -1,10 +1,9 @@
 #ifndef PGIVM_RETE_ANTIJOIN_NODE_H_
 #define PGIVM_RETE_ANTIJOIN_NODE_H_
 
-#include <unordered_map>
-
 #include "rete/join_node.h"
 #include "rete/node.h"
+#include "rete/sharded_map.h"
 
 namespace pgivm {
 
@@ -15,12 +14,22 @@ namespace pgivm {
 ///
 /// State: the left memory (key → counted tuples) plus a per-key support
 /// count of right rows; left tuples toggle in/out of the output when their
-/// key's right support transitions 0 ↔ positive.
+/// key's right support transitions 0 ↔ positive. Both maps are keyed (and
+/// sharded) by the same join-key tuple, so a morsel partition's writes stay
+/// within the shards it owns.
 class AntiJoinNode : public ReteNode {
  public:
   AntiJoinNode(Schema schema, const Schema& left, const Schema& right);
 
   void OnDelta(int port, const Delta& delta) override;
+
+  MorselKind morsel_kind() const override { return MorselKind::kKeyed; }
+  void MorselPartitionMap(int port, const Delta& delta, uint32_t partitions,
+                          size_t begin, size_t end,
+                          uint32_t* map) const override;
+  void OnDeltaMorsel(int port, const Delta& delta, const uint32_t* map,
+                     uint32_t partition, uint32_t partitions,
+                     Delta& out) override;
 
   /// Replays the currently unmatched left tuples (keys with zero right
   /// support).
@@ -37,9 +46,12 @@ class AntiJoinNode : public ReteNode {
   const char* KindName() const override { return "AntiJoin"; }
 
  private:
+  void ProcessEntries(int port, const Delta& delta, const uint32_t* map,
+                      uint32_t partition, Delta& out);
+
   JoinLayout layout_;
-  std::unordered_map<Tuple, Bag, TupleHash> left_memory_;
-  std::unordered_map<Tuple, int64_t, TupleHash> right_support_;
+  ShardedTupleMap<Bag> left_memory_;
+  ShardedTupleMap<int64_t> right_support_;
 };
 
 }  // namespace pgivm

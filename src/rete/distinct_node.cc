@@ -2,19 +2,43 @@
 
 namespace pgivm {
 
-void DistinctNode::OnDelta(int port, const Delta& delta) {
-  (void)port;
-  Delta out;
-  for (const DeltaEntry& entry : delta) {
-    auto [old_count, new_count] = support_.Apply(entry.tuple,
-                                                 entry.multiplicity);
+void DistinctNode::ProcessEntries(const Delta& delta, const uint32_t* map,
+                                  uint32_t partition, Delta& out) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (map != nullptr && map[i] != partition) continue;
+    const DeltaEntry& entry = delta[i];
+    auto [old_count, new_count] =
+        support_.shard(entry.tuple).Apply(entry.tuple, entry.multiplicity);
     if (old_count == 0 && new_count > 0) {
       out.push_back({entry.tuple, 1});
     } else if (old_count > 0 && new_count == 0) {
       out.push_back({entry.tuple, -1});
     }
   }
+}
+
+void DistinctNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  Delta out;
+  ProcessEntries(delta, /*map=*/nullptr, /*partition=*/0, out);
   Emit(std::move(out));
+}
+
+void DistinctNode::MorselPartitionMap(int port, const Delta& delta,
+                                      uint32_t partitions, size_t begin,
+                                      size_t end, uint32_t* map) const {
+  (void)port;
+  for (size_t i = begin; i < end; ++i) {
+    map[i] = MorselPartitionOfHash(delta[i].tuple.Hash(), partitions);
+  }
+}
+
+void DistinctNode::OnDeltaMorsel(int port, const Delta& delta,
+                                 const uint32_t* map, uint32_t partition,
+                                 uint32_t partitions, Delta& out) {
+  (void)port;
+  (void)partitions;
+  ProcessEntries(delta, map, partition, out);
 }
 
 }  // namespace pgivm

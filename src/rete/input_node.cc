@@ -21,6 +21,16 @@ Value PropertyValue(const ValueMap& properties, const std::string& key) {
   return it == properties.end() ? Value::Null() : it->second;
 }
 
+/// True when `partition` (of `partitions`) owns entity `id` — the same
+/// shard-granular ownership the ShardedIdMap asserted-state uses, so an
+/// owning partition's map writes stay within its own shards.
+template <typename Id>
+bool OwnsEntity(Id id, uint32_t partition, uint32_t partitions) {
+  return partitions <= 1 ||
+         MorselPartitionOfHash(static_cast<size_t>(id), partitions) ==
+             partition;
+}
+
 }  // namespace
 
 // ---- VertexInputNode -------------------------------------------------------
@@ -75,27 +85,34 @@ Tuple VertexInputNode::BuildTuple(VertexId v,
   return Tuple(std::move(values));
 }
 
-void VertexInputNode::HandleChange(const GraphChange& change) {
+void VertexInputNode::TranslateChange(const GraphChange& change,
+                                      uint32_t partition, uint32_t partitions,
+                                      Delta& out) {
+  // Every kind handled below is keyed by change.vertex; kinds that fall
+  // through to `default` return regardless of ownership.
+  if (!OwnsEntity(change.vertex, partition, partitions)) return;
   switch (change.kind) {
     case GraphChange::Kind::kAddVertex: {
       if (!Matches(change.labels)) return;
       Tuple tuple = BuildTuple(change.vertex, change.labels,
                                change.properties);
-      asserted_.emplace(change.vertex, tuple);
-      Emit({{std::move(tuple), 1}});
+      asserted_.shard(change.vertex).emplace(change.vertex, tuple);
+      out.push_back({std::move(tuple), 1});
       return;
     }
     case GraphChange::Kind::kRemoveVertex: {
-      auto it = asserted_.find(change.vertex);
-      if (it == asserted_.end()) return;
+      auto& shard = asserted_.shard(change.vertex);
+      auto it = shard.find(change.vertex);
+      if (it == shard.end()) return;
       Tuple old = it->second;
-      asserted_.erase(it);
-      Emit({{std::move(old), -1}});
+      shard.erase(it);
+      out.push_back({std::move(old), -1});
       return;
     }
     case GraphChange::Kind::kSetVertexProperty: {
-      auto it = asserted_.find(change.vertex);
-      if (it == asserted_.end()) return;
+      auto& shard = asserted_.shard(change.vertex);
+      auto it = shard.find(change.vertex);
+      if (it == shard.end()) return;
       const Tuple& old = it->second;
       // Rebuild only the columns the changed key touches, against the
       // *stored* tuple: correct even mid-batch.
@@ -117,9 +134,9 @@ void VertexInputNode::HandleChange(const GraphChange& change) {
         }
       }
       if (updated == old) return;
-      Delta delta{{old, -1}, {updated, 1}};
+      out.push_back({old, -1});
+      out.push_back({updated, 1});
       it->second = std::move(updated);
-      Emit(std::move(delta));
       return;
     }
     case GraphChange::Kind::kAddVertexLabel:
@@ -127,19 +144,20 @@ void VertexInputNode::HandleChange(const GraphChange& change) {
       VertexId v = change.vertex;
       bool matched_now =
           graph_->HasVertex(v) && Matches(graph_->VertexLabels(v));
-      auto it = asserted_.find(v);
-      if (it == asserted_.end()) {
+      auto& shard = asserted_.shard(v);
+      auto it = shard.find(v);
+      if (it == shard.end()) {
         if (!matched_now) return;
         Tuple tuple = BuildTuple(v, graph_->VertexLabels(v),
                                  graph_->VertexProperties(v));
-        asserted_.emplace(v, tuple);
-        Emit({{std::move(tuple), 1}});
+        shard.emplace(v, tuple);
+        out.push_back({std::move(tuple), 1});
         return;
       }
       if (!matched_now) {
         Tuple old = it->second;
-        asserted_.erase(it);
-        Emit({{std::move(old), -1}});
+        shard.erase(it);
+        out.push_back({std::move(old), -1});
         return;
       }
       // Still matching: refresh labels() columns if any.
@@ -151,14 +169,26 @@ void VertexInputNode::HandleChange(const GraphChange& change) {
         }
       }
       if (updated == it->second) return;
-      Delta delta{{it->second, -1}, {updated, 1}};
+      out.push_back({it->second, -1});
+      out.push_back({updated, 1});
       it->second = std::move(updated);
-      Emit(std::move(delta));
       return;
     }
     default:
       return;
   }
+}
+
+void VertexInputNode::HandleChange(const GraphChange& change) {
+  Delta out;
+  TranslateChange(change, /*partition=*/0, /*partitions=*/1, out);
+  Emit(std::move(out));
+}
+
+void VertexInputNode::HandleChangePartition(const GraphChange& change,
+                                            uint32_t partition,
+                                            uint32_t partitions, Delta& out) {
+  TranslateChange(change, partition, partitions, out);
 }
 
 void VertexInputNode::EmitInitialFromGraph() {
@@ -167,7 +197,7 @@ void VertexInputNode::EmitInitialFromGraph() {
     if (!Matches(graph_->VertexLabels(v))) return;
     Tuple tuple = BuildTuple(v, graph_->VertexLabels(v),
                              graph_->VertexProperties(v));
-    asserted_.emplace(v, tuple);
+    asserted_.shard(v).emplace(v, tuple);
     delta.push_back({std::move(tuple), 1});
   };
   // One entry per matching vertex: reserve the candidate count up front so
@@ -187,18 +217,19 @@ void VertexInputNode::EmitInitialFromGraph() {
 
 bool VertexInputNode::ReplayOutput(Delta& out) const {
   out.reserve(out.size() + asserted_.size());
-  for (const auto& [v, tuple] : asserted_) {
+  asserted_.ForEach([&](VertexId v, const Tuple& tuple) {
     (void)v;
     out.push_back({tuple, 1});
-  }
+  });
   return true;
 }
 
 size_t VertexInputNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& [v, tuple] : asserted_) {
+  asserted_.ForEach([&](VertexId v, const Tuple& tuple) {
+    (void)v;
     bytes += sizeof(VertexId) + sizeof(Tuple) + tuple.size() * sizeof(Value);
-  }
+  });
   return bytes;
 }
 
@@ -284,7 +315,7 @@ Tuple EdgeInputNode::BuildTuple(VertexId a, VertexId b, EdgeId e,
 void EdgeInputNode::AssertEdge(EdgeId e, VertexId src, VertexId dst,
                                const std::string& type,
                                const ValueMap& edge_properties, Delta& out) {
-  std::vector<Tuple>& tuples = asserted_[e];
+  std::vector<Tuple>& tuples = asserted_.shard(e)[e];
   tuples.push_back(BuildTuple(src, dst, e, type, edge_properties));
   out.push_back({tuples.back(), 1});
   if (undirected_ && src != dst) {
@@ -293,7 +324,8 @@ void EdgeInputNode::AssertEdge(EdgeId e, VertexId src, VertexId dst,
   }
 }
 
-void EdgeInputNode::RefreshIncident(VertexId v, Delta& out) {
+void EdgeInputNode::RefreshIncident(VertexId v, uint32_t partition,
+                                    uint32_t partitions, Delta& out) {
   std::vector<EdgeId> incident = graph_->OutEdges(v);
   const std::vector<EdgeId>& in = graph_->InEdges(v);
   incident.insert(incident.end(), in.begin(), in.end());
@@ -304,8 +336,12 @@ void EdgeInputNode::RefreshIncident(VertexId v, Delta& out) {
   // pair per tuple.
   out.reserve(out.size() + 2 * incident.size() * (undirected_ ? 2 : 1));
   for (EdgeId e : incident) {
-    auto it = asserted_.find(e);
-    if (it == asserted_.end()) continue;
+    // Edge ownership, not vertex ownership: every partition scans the
+    // incident list but refreshes only its own edges, so an edge touched
+    // via both endpoints in one batch still has a single writer.
+    if (!OwnsEntity(e, partition, partitions)) continue;
+    std::vector<Tuple>* stored = asserted_.Find(e);
+    if (stored == nullptr) continue;
     const std::string& type = graph_->EdgeType(e);
     const ValueMap& props = graph_->EdgeProperties(e);
     VertexId src = graph_->EdgeSource(e);
@@ -315,20 +351,22 @@ void EdgeInputNode::RefreshIncident(VertexId v, Delta& out) {
     if (undirected_ && src != dst) {
       fresh.push_back(BuildTuple(dst, src, e, type, props));
     }
-    for (size_t i = 0; i < it->second.size(); ++i) {
-      if (!(it->second[i] == fresh[i])) {
-        out.push_back({it->second[i], -1});
+    for (size_t i = 0; i < stored->size(); ++i) {
+      if (!((*stored)[i] == fresh[i])) {
+        out.push_back({(*stored)[i], -1});
         out.push_back({fresh[i], 1});
       }
     }
-    it->second = std::move(fresh);
+    *stored = std::move(fresh);
   }
 }
 
-void EdgeInputNode::HandleChange(const GraphChange& change) {
-  Delta out;
+void EdgeInputNode::TranslateChange(const GraphChange& change,
+                                    uint32_t partition, uint32_t partitions,
+                                    Delta& out) {
   switch (change.kind) {
     case GraphChange::Kind::kAddEdge:
+      if (!OwnsEntity(change.edge, partition, partitions)) return;
       if (!TypeMatches(change.edge_type)) return;
       // A later change in the same batch may have removed this edge again
       // (possibly detach-removing an endpoint, whose properties the vertex
@@ -337,19 +375,22 @@ void EdgeInputNode::HandleChange(const GraphChange& change) {
       if (!graph_->HasEdge(change.edge)) return;
       AssertEdge(change.edge, change.src, change.dst, change.edge_type,
                  change.properties, out);
-      break;
+      return;
     case GraphChange::Kind::kRemoveEdge: {
-      auto it = asserted_.find(change.edge);
-      if (it == asserted_.end()) return;
-      out.reserve(it->second.size());
+      if (!OwnsEntity(change.edge, partition, partitions)) return;
+      auto& shard = asserted_.shard(change.edge);
+      auto it = shard.find(change.edge);
+      if (it == shard.end()) return;
+      out.reserve(out.size() + it->second.size());
       for (const Tuple& tuple : it->second) out.push_back({tuple, -1});
-      asserted_.erase(it);
-      break;
+      shard.erase(it);
+      return;
     }
     case GraphChange::Kind::kSetEdgeProperty: {
-      auto it = asserted_.find(change.edge);
-      if (it == asserted_.end()) return;
-      for (Tuple& stored : it->second) {
+      if (!OwnsEntity(change.edge, partition, partitions)) return;
+      std::vector<Tuple>* stored_tuples = asserted_.Find(change.edge);
+      if (stored_tuples == nullptr) return;
+      for (Tuple& stored : *stored_tuples) {
         Tuple updated = stored;
         for (size_t i = 0; i < extracts_.size(); ++i) {
           const PropertyExtract& extract = extracts_[i];
@@ -374,19 +415,30 @@ void EdgeInputNode::HandleChange(const GraphChange& change) {
         out.push_back({updated, 1});
         stored = std::move(updated);
       }
-      break;
+      return;
     }
     case GraphChange::Kind::kSetVertexProperty:
     case GraphChange::Kind::kAddVertexLabel:
     case GraphChange::Kind::kRemoveVertexLabel:
       if (!depends_on_vertices_) return;
       if (!graph_->HasVertex(change.vertex)) return;
-      RefreshIncident(change.vertex, out);
-      break;
+      RefreshIncident(change.vertex, partition, partitions, out);
+      return;
     default:
       return;
   }
+}
+
+void EdgeInputNode::HandleChange(const GraphChange& change) {
+  Delta out;
+  TranslateChange(change, /*partition=*/0, /*partitions=*/1, out);
   Emit(std::move(out));
+}
+
+void EdgeInputNode::HandleChangePartition(const GraphChange& change,
+                                          uint32_t partition,
+                                          uint32_t partitions, Delta& out) {
+  TranslateChange(change, partition, partitions, out);
 }
 
 void EdgeInputNode::EmitInitialFromGraph() {
@@ -419,21 +471,22 @@ void EdgeInputNode::EmitInitialFromGraph() {
 }
 
 bool EdgeInputNode::ReplayOutput(Delta& out) const {
-  for (const auto& [e, tuples] : asserted_) {
+  asserted_.ForEach([&](EdgeId e, const std::vector<Tuple>& tuples) {
     (void)e;
     for (const Tuple& tuple : tuples) out.push_back({tuple, 1});
-  }
+  });
   return true;
 }
 
 size_t EdgeInputNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& [e, tuples] : asserted_) {
+  asserted_.ForEach([&](EdgeId e, const std::vector<Tuple>& tuples) {
+    (void)e;
     bytes += sizeof(EdgeId);
     for (const Tuple& tuple : tuples) {
       bytes += sizeof(Tuple) + tuple.size() * sizeof(Value);
     }
-  }
+  });
   return bytes;
 }
 

@@ -2,12 +2,12 @@
 #define PGIVM_RETE_INPUT_NODE_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "algebra/operator.h"
 #include "graph/property_graph.h"
 #include "rete/node.h"
+#include "rete/sharded_map.h"
 
 namespace pgivm {
 
@@ -21,6 +21,30 @@ class GraphSourceNode {
   /// Translates one (already applied) graph change into relational deltas.
   virtual void HandleChange(const GraphChange& change) = 0;
 
+  /// True when HandleChange factorizes over graph entities, i.e. the node
+  /// supports HandleChangePartition. Sources whose translation has
+  /// cross-entity state (path enumeration, the Unit relation) stay serial.
+  virtual bool translation_partitionable() const { return false; }
+
+  /// Partitioned translation: handles `change` restricted to the entities
+  /// partition `partition` (of `partitions`) owns, appending relational
+  /// deltas to `out` instead of emitting. Entity ownership is
+  /// MorselPartitionOfHash over the vertex/edge id, so each entity is
+  /// translated by exactly one partition and a partition's writes to the
+  /// node's sharded asserted-state stay within the shards it owns. Within
+  /// a partition, changes keep their batch order; equal emitted tuples
+  /// always carry the entity id, so they originate from one entity — one
+  /// partition — and the scheduler's consolidation is order-insensitive
+  /// across partitions. Only called when translation_partitionable().
+  virtual void HandleChangePartition(const GraphChange& change,
+                                     uint32_t partition, uint32_t partitions,
+                                     Delta& out) {
+    (void)change;
+    (void)partition;
+    (void)partitions;
+    (void)out;
+  }
+
   /// Asserts the tuples for the current graph content.
   virtual void EmitInitialFromGraph() = 0;
 };
@@ -31,7 +55,8 @@ class GraphSourceNode {
 /// The node keeps the currently asserted tuple per vertex, so updates are
 /// translated into exact retract/assert pairs even inside multi-change
 /// batches (each change is applied to the stored tuple, never re-read from
-/// intermediate graph state).
+/// intermediate graph state). The asserted map is sharded by vertex id so
+/// parallel translation partitions write disjoint shards.
 class VertexInputNode : public ReteNode, public GraphSourceNode {
  public:
   VertexInputNode(Schema schema, const PropertyGraph* graph,
@@ -40,6 +65,9 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
 
   void OnDelta(int port, const Delta& delta) override;
   void HandleChange(const GraphChange& change) override;
+  bool translation_partitionable() const override { return true; }
+  void HandleChangePartition(const GraphChange& change, uint32_t partition,
+                             uint32_t partitions, Delta& out) override;
   void EmitInitialFromGraph() override;
 
   /// Replays the asserted tuple of every live matching vertex.
@@ -58,18 +86,26 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
   static Value ExtractValue(const PropertyExtract& extract,
                             const std::vector<std::string>& labels,
                             const ValueMap& properties);
+  /// Shared body of HandleChange (partition 0 of 1) and
+  /// HandleChangePartition: every handled change kind is keyed by
+  /// change.vertex, so a partition simply skips vertices it doesn't own.
+  void TranslateChange(const GraphChange& change, uint32_t partition,
+                       uint32_t partitions, Delta& out);
 
   const PropertyGraph* graph_;
   std::vector<std::string> required_labels_;  // sorted
   std::vector<PropertyExtract> extracts_;
-  std::unordered_map<VertexId, Tuple> asserted_;
+  ShardedIdMap<VertexId, Tuple> asserted_;
 };
 
 /// ⇑ — the get-edges base relation: one tuple [src, e, dst, extracts...]
 /// per live edge of a matching type (two orientation tuples for undirected
 /// patterns). Extracts may read the edge's own properties/type or the
 /// endpoint vertices' properties/labels — the node reacts to endpoint
-/// updates via the incident-edge lists.
+/// updates via the incident-edge lists. The asserted map is sharded by
+/// edge id; partitioned translation owns edges (vertex-side updates are
+/// scanned by every partition, each refreshing only the incident edges it
+/// owns).
 class EdgeInputNode : public ReteNode, public GraphSourceNode {
  public:
   EdgeInputNode(Schema schema, const PropertyGraph* graph,
@@ -79,6 +115,9 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
 
   void OnDelta(int port, const Delta& delta) override;
   void HandleChange(const GraphChange& change) override;
+  bool translation_partitionable() const override { return true; }
+  void HandleChangePartition(const GraphChange& change, uint32_t partition,
+                             uint32_t partitions, Delta& out) override;
   void EmitInitialFromGraph() override;
 
   /// Replays the asserted orientation tuples of every live matching edge.
@@ -101,9 +140,12 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
   void AssertEdge(EdgeId e, VertexId src, VertexId dst,
                   const std::string& type, const ValueMap& edge_properties,
                   Delta& out);
-  /// Recomputes stored tuples of every incident edge of `v` after a vertex
-  /// -side update.
-  void RefreshIncident(VertexId v, Delta& out);
+  /// Recomputes stored tuples of every incident edge of `v` that
+  /// `partition` owns after a vertex-side update.
+  void RefreshIncident(VertexId v, uint32_t partition, uint32_t partitions,
+                       Delta& out);
+  void TranslateChange(const GraphChange& change, uint32_t partition,
+                       uint32_t partitions, Delta& out);
 
   const PropertyGraph* graph_;
   std::vector<std::string> types_;
@@ -113,7 +155,7 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
   std::string dst_var_;
   std::vector<PropertyExtract> extracts_;
   bool depends_on_vertices_ = false;
-  std::unordered_map<EdgeId, std::vector<Tuple>> asserted_;
+  ShardedIdMap<EdgeId, std::vector<Tuple>> asserted_;
 };
 
 /// The Unit relation: exactly one empty tuple, asserted at startup. Base of

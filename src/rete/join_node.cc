@@ -26,65 +26,92 @@ JoinNode::JoinNode(Schema schema, const Schema& left, const Schema& right)
 
 void JoinNode::Apply(Memory& memory, const Tuple& key, const Tuple& tuple,
                      int64_t multiplicity) {
-  Bag& bag = memory[key];
+  Memory::Map& map = memory.shard(key);
+  Bag& bag = map[key];
   bag.Apply(tuple, multiplicity);
-  if (bag.total_count() == 0) memory.erase(key);
+  if (bag.total_count() == 0) map.erase(key);
 }
 
 Tuple JoinNode::Combine(const Tuple& left, const Tuple& right) const {
   return left.ConcatProjected(right, layout_.right_rest);
 }
 
-void JoinNode::OnDelta(int port, const Delta& delta) {
-  Delta out;
-  for (const DeltaEntry& entry : delta) {
+void JoinNode::ProcessEntries(int port, const Delta& delta,
+                              const uint32_t* map, uint32_t partition,
+                              Delta& out) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (map != nullptr && map[i] != partition) continue;
+    const DeltaEntry& entry = delta[i];
     if (port == 0) {
       Tuple key = entry.tuple.Project(layout_.left_key);
       Apply(left_memory_, key, entry.tuple, entry.multiplicity);
-      auto it = right_memory_.find(key);
-      if (it == right_memory_.end()) continue;
-      for (const auto& [right_tuple, right_count] : it->second.counts()) {
+      const Bag* matches = right_memory_.Find(key);
+      if (matches == nullptr) continue;
+      for (const auto& [right_tuple, right_count] : matches->counts()) {
         out.push_back({Combine(entry.tuple, right_tuple),
                        entry.multiplicity * right_count});
       }
     } else {
       Tuple key = entry.tuple.Project(layout_.right_key);
       Apply(right_memory_, key, entry.tuple, entry.multiplicity);
-      auto it = left_memory_.find(key);
-      if (it == left_memory_.end()) continue;
-      for (const auto& [left_tuple, left_count] : it->second.counts()) {
+      const Bag* matches = left_memory_.Find(key);
+      if (matches == nullptr) continue;
+      for (const auto& [left_tuple, left_count] : matches->counts()) {
         out.push_back({Combine(left_tuple, entry.tuple),
                        entry.multiplicity * left_count});
       }
     }
   }
+}
+
+void JoinNode::OnDelta(int port, const Delta& delta) {
+  Delta out;
+  ProcessEntries(port, delta, /*map=*/nullptr, /*partition=*/0, out);
   Emit(std::move(out));
 }
 
+void JoinNode::MorselPartitionMap(int port, const Delta& delta,
+                                  uint32_t partitions, size_t begin,
+                                  size_t end, uint32_t* map) const {
+  const std::vector<int>& key =
+      port == 0 ? layout_.left_key : layout_.right_key;
+  for (size_t i = begin; i < end; ++i) {
+    map[i] = MorselPartitionOfHash(delta[i].tuple.HashProjected(key),
+                                   partitions);
+  }
+}
+
+void JoinNode::OnDeltaMorsel(int port, const Delta& delta,
+                             const uint32_t* map, uint32_t partition,
+                             uint32_t partitions, Delta& out) {
+  (void)partitions;
+  ProcessEntries(port, delta, map, partition, out);
+}
+
 bool JoinNode::ReplayOutput(Delta& out) const {
-  for (const auto& [key, left_bag] : left_memory_) {
-    auto it = right_memory_.find(key);
-    if (it == right_memory_.end()) continue;
+  left_memory_.ForEach([&](const Tuple& key, const Bag& left_bag) {
+    const Bag* right_bag = right_memory_.Find(key);
+    if (right_bag == nullptr) return;
     for (const auto& [left_tuple, left_count] : left_bag.counts()) {
-      for (const auto& [right_tuple, right_count] : it->second.counts()) {
-        out.push_back({Combine(left_tuple, right_tuple),
-                       left_count * right_count});
+      for (const auto& [right_tuple, right_count] : right_bag->counts()) {
+        out.push_back(
+            {Combine(left_tuple, right_tuple), left_count * right_count});
       }
     }
-  }
+  });
   return true;
 }
 
 size_t JoinNode::ApproxMemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& [key, bag] : left_memory_) {
+  left_memory_.ForEach([&](const Tuple& key, const Bag& bag) {
     bytes += sizeof(Tuple) + key.size() * sizeof(Value);
     bytes += bag.ApproxMemoryBytes();
-  }
-  for (const auto& [key, bag] : right_memory_) {
+  });
+  right_memory_.ForEach([&](const Tuple& key, const Bag& bag) {
     bytes += sizeof(Tuple) + key.size() * sizeof(Value);
     bytes += bag.ApproxMemoryBytes();
-  }
+  });
   return bytes;
 }
 

@@ -172,6 +172,38 @@ class ReteNetwork : public GraphListener, private EmitSink {
     return parallel_waves_dispatched_.load(std::memory_order_relaxed);
   }
 
+  /// Minimum entries a single node must have queued on its input ports
+  /// before its delivery is split into key-partitioned morsels within the
+  /// wave. 0 forces the morsel path for every eligible node (tests/CI).
+  /// The same threshold gates parallel source translation (by graph-change
+  /// count). Results are bit-identical either way — see
+  /// NetworkOptions::morsel_min_node_entries.
+  void set_morsel_min_node_entries(size_t entries) {
+    morsel_min_node_entries_ = entries;
+  }
+  size_t morsel_min_node_entries() const { return morsel_min_node_entries_; }
+
+  /// Caps the number of partitions a morsel dispatch splits a node into.
+  /// 0 = auto (the pool's parallelism, capped at kMorselShards); 1 turns
+  /// morsel delivery and parallel translation off entirely. Must be set
+  /// before Attach() (resolved there, like the pool itself).
+  void set_morsel_partitions(uint32_t partitions) {
+    morsel_partitions_ = partitions;
+  }
+  uint32_t morsel_partitions() const { return morsel_partitions_; }
+
+  /// The partition count morsel dispatches actually use after Attach()
+  /// (1 = morsel execution disabled: serial executor, or capped away).
+  uint32_t morsel_partitions_resolved() const {
+    return morsel_partitions_resolved_;
+  }
+
+  /// Lifetime count of waves in which at least one node's delivery ran
+  /// partitioned morsel-style. Relaxed atomic: readable mid-ingest.
+  int64_t morsel_waves_dispatched() const {
+    return morsel_waves_dispatched_.load(std::memory_order_relaxed);
+  }
+
   /// Turns per-node/per-drain propagation profiling on or off (see
   /// NetworkOptions::profiling). May be flipped at any time between drains
   /// on the writer thread; nodes added later inherit the current setting.
@@ -360,6 +392,10 @@ class ReteNetwork : public GraphListener, private EmitSink {
   struct PendingDelta {
     Delta delta;
     bool clean = false;
+    /// Morsel scratch: the owning partition of each entry of `delta`,
+    /// computed (chunk-parallel) right before a partitioned dispatch.
+    /// Valid only within that wave; capacity is recycled across waves.
+    std::vector<uint32_t> morsel_map;
   };
 
   /// Per-node scheduler state: topological level, the deltas queued on each
@@ -382,12 +418,22 @@ class ReteNetwork : public GraphListener, private EmitSink {
     bool owned = false;
     std::vector<std::pair<int, PendingDelta>> pending;
     Delta out;
+    /// Per-partition staging slots for morsel delivery: partition p of a
+    /// partitioned dispatch appends only to morsel_out[p] (single writer
+    /// per slot), and the barrier concatenates the slots into `out` in
+    /// partition order before consolidating. Sized lazily on the node's
+    /// first morsel wave; buffers are recycled across waves.
+    std::vector<Delta> morsel_out;
     /// Profiling scratch, written by whichever thread ran DeliverPending
     /// for the node this wave (single writer; the pool join is the
     /// barrier) and turned into trace events at the serial merge phase.
     int64_t prof_start_ns = 0;
     int64_t prof_dur_ns = 0;
     int64_t prof_in_entries = 0;
+    /// Per-partition profiling scratch of a morsel wave (one writer per
+    /// slot), folded into the node profile / trace at the barrier.
+    std::vector<int64_t> morsel_prof_start_ns;
+    std::vector<int64_t> morsel_prof_dur_ns;
   };
 
   // EmitSink: buffers `from`'s emission for the current wave.
@@ -413,10 +459,50 @@ class ReteNetwork : public GraphListener, private EmitSink {
   /// thread, in ready order — the deterministic merge point of a wave.
   void FlushNode(ReteNode* node, NodeState& state);
 
-  /// Total delta entries queued on the input ports of `ready`'s nodes —
-  /// what a parallel dispatch of the wave would distribute. Feeds the
-  /// work-size gate (set_parallel_min_wave_entries).
-  size_t WaveQueuedEntries(const std::vector<ReteNode*>& ready) const;
+  /// One ready node of the wave being drained, with its scheduler state
+  /// looked up exactly once per wave (the states_.at hash probe used to
+  /// run several times per node per wave).
+  struct WaveItem {
+    ReteNode* node = nullptr;
+    NodeState* state = nullptr;
+    size_t entries = 0;   // total entries queued on the node's input ports
+    bool morsel = false;  // this wave partitions the node's delivery
+    MorselKind kind = MorselKind::kNone;
+  };
+
+  /// One unit of phase-1 parallel work: a whole node (partition ==
+  /// kDeliverWhole — the classic node-parallel wave) or one partition of a
+  /// morsel-split node.
+  struct MorselTask {
+    WaveItem* item = nullptr;
+    uint32_t partition = 0;
+  };
+  static constexpr uint32_t kDeliverWhole = UINT32_MAX;
+
+  /// One contiguous range of one pending delta whose partition map one
+  /// worker computes (MorselPartitionMap is pure, so ranges of the same
+  /// delta proceed concurrently).
+  struct MapChunk {
+    const ReteNode* node = nullptr;
+    const Delta* delta = nullptr;
+    uint32_t* map = nullptr;
+    int port = 0;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  /// Delivers one partition of `item`'s queued deltas into its
+  /// state->morsel_out[partition] slot. Keyed nodes consult the pending
+  /// morsel_map (disjoint key ownership ⇒ disjoint memory shards);
+  /// chunked nodes process their contiguous range. Never Emits.
+  void DeliverMorselPartition(WaveItem& item, uint32_t partition);
+
+  /// Barrier-side merge of a morsel-split node: concatenates the
+  /// per-partition slots into state->out in partition order, consolidates
+  /// (canonical order ⇒ bit-identical to a serial delivery), clears the
+  /// pending queues and folds the per-partition profiles into the node
+  /// profile. Runs on the draining thread.
+  void MergeMorsel(WaveItem& item);
 
   /// Drains all queued work level by level until the network is quiescent.
   /// Under kParallel each level's owned nodes are processed concurrently
@@ -495,9 +581,30 @@ class ReteNetwork : public GraphListener, private EmitSink {
   size_t trace_capacity_ = 1 << 16;
   /// Created on the first set_profiling(true); see trace().
   std::unique_ptr<TraceBuffer> trace_;
-  /// Scratch for the wave loop: the owned subset of the level being
-  /// drained (kept as a member so steady-state waves don't allocate).
-  std::vector<ReteNode*> wave_scratch_;
+  /// See set_morsel_min_node_entries / set_morsel_partitions; the
+  /// builder/catalog overwrite these from NetworkOptions.
+  size_t morsel_min_node_entries_ = 1024;
+  uint32_t morsel_partitions_ = 0;  // 0 = auto; resolved at Attach
+  uint32_t morsel_partitions_resolved_ = 1;
+  std::atomic<int64_t> morsel_waves_dispatched_{0};
+  LatencyHistogram* h_wave_imbalance_ = nullptr;
+  /// Scratch for the wave loop (members so steady-state waves don't
+  /// allocate): the level being drained, the phase-1 task list, and the
+  /// partition-map chunks of the wave's morsel nodes.
+  std::vector<WaveItem> wave_items_;
+  std::vector<MorselTask> morsel_tasks_;
+  std::vector<MapChunk> map_chunks_;
+  /// One (partitionable source, partition) unit of parallel graph-delta
+  /// translation, with its per-task output buffer (merged source-major,
+  /// partition-minor — deterministic, then canonicalized by the level-0
+  /// consolidation).
+  struct TranslateTask {
+    GraphSourceNode* source = nullptr;
+    ReteNode* node = nullptr;
+    uint32_t partition = 0;
+  };
+  std::vector<TranslateTask> translate_tasks_;
+  std::vector<Delta> translate_out_;
   /// True while a graph delta is being translated into source buffers
   /// (drain deferred until translation finishes) / while DrainWaves runs.
   /// An OnEmit with neither set is an externally fed node (chained views)

@@ -410,6 +410,19 @@ NetworkOptions ApplyEnvProfilingOverride(NetworkOptions options) {
   return options;
 }
 
+NetworkOptions ApplyEnvMorselOverride(NetworkOptions options) {
+  const char* env = std::getenv("PGIVM_MORSEL");
+  if (env == nullptr || *env == '\0') return options;
+  int value = 0;
+  if (!ParseStrictEnvInt("PGIVM_MORSEL", env, &value)) return options;
+  if (value >= 0) {
+    options.morsel_min_node_entries = static_cast<size_t>(value);
+  } else {
+    options.morsel_partitions = 1;  // negative = disable morsel execution
+  }
+  return options;
+}
+
 Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
     const OpPtr& plan, const PropertyGraph* graph,
     const NetworkOptions& options) {
@@ -421,6 +434,8 @@ Result<std::unique_ptr<ReteNetwork>> BuildNetwork(
   network->set_executor(options.executor, options.num_threads);
   network->set_consolidation_cutoff(options.consolidation_cutoff);
   network->set_parallel_min_wave_entries(options.parallel_min_wave_entries);
+  network->set_morsel_min_node_entries(options.morsel_min_node_entries);
+  network->set_morsel_partitions(options.morsel_partitions);
   network->set_epoch_retention(options.epoch_retention);
   network->set_trace_capacity(options.trace_capacity);
   network->set_profiling(options.profiling);

@@ -42,6 +42,24 @@ struct NetworkOptions {
   /// value. Ignored under kSerial / kEager.
   size_t parallel_min_wave_entries = 8;
 
+  /// Work-size gate for morsel-style intra-node parallelism: a single node
+  /// holding at least this many queued delta entries has its delivery
+  /// split into key-partitioned morsels processed concurrently (and a
+  /// graph delta with at least this many changes has its source
+  /// translation partitioned the same way). 0 forces the morsel path for
+  /// every eligible node — the test/CI setting; raising it keeps skew-free
+  /// steady states on the cheaper whole-node path. Purely a performance
+  /// knob: results are bit-identical for any value. Requires
+  /// ExecutorKind::kParallel (no pool = no morsels); see also
+  /// ApplyEnvMorselOverride / PGIVM_MORSEL.
+  size_t morsel_min_node_entries = 1024;
+
+  /// Caps how many partitions a morsel dispatch splits a node into. 0 =
+  /// auto (the worker pool's parallelism, itself capped at kMorselShards);
+  /// 1 disables morsel execution and parallel source translation entirely
+  /// (the ablation baseline). Bit-identical results for any value.
+  uint32_t morsel_partitions = 0;
+
   /// Delta payloads of this size or fewer bypass sort-based consolidation
   /// for a pairwise fast path (see Consolidate). Identical results for any
   /// value; 0 disables the fast path entirely.
@@ -91,6 +109,17 @@ NetworkOptions ApplyEnvExecutorOverride(NetworkOptions options);
 /// unchanged. Applied once per engine, at ViewCatalog::Create, alongside
 /// the executor override.
 NetworkOptions ApplyEnvProfilingOverride(NetworkOptions options);
+
+/// Returns `options` with the `PGIVM_MORSEL` environment override applied:
+/// an integer n >= 0 sets NetworkOptions::morsel_min_node_entries to n
+/// (0 = force the morsel path for every eligible node — how CI's TSAN job
+/// exercises partitioned delivery on ordinary workloads); a negative n
+/// sets morsel_partitions to 1, disabling morsel execution entirely.
+/// Validated exactly like PGIVM_THREADS — a value that is not entirely an
+/// integer or does not fit in int is rejected with a stderr warning and
+/// the options pass through unchanged. Applied once per engine, at
+/// ViewCatalog::Create, alongside the executor override.
+NetworkOptions ApplyEnvMorselOverride(NetworkOptions options);
 
 /// One view instantiated inside a (possibly multi-view) network: its
 /// production root plus every Rete node the view references — shared

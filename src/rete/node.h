@@ -17,6 +17,26 @@ namespace pgivm {
 
 class ReteNode;
 
+/// How a node's queued delta may be split across morsel partitions during
+/// a parallel wave (see ReteNetwork::DrainWaves and docs/ARCHITECTURE.md
+/// "Partitioned delivery").
+enum class MorselKind {
+  /// The node must receive its whole delta in one OnDelta call (unions,
+  /// productions, path sources — anything with cross-entry state that is
+  /// not keyed).
+  kNone,
+  /// Stateless per-entry transform (filter/project/plain unnest): any
+  /// contiguous chunking of the delta is valid; partition p owns the p-th
+  /// equal chunk, so concatenating partition outputs in partition order
+  /// reproduces the serial output order exactly.
+  kChunked,
+  /// Per-key state (join/semi/anti probe key, aggregate group key,
+  /// distinct tuple): entries must be routed by MorselPartitionMap so that
+  /// equal keys land in one partition and memory shards are written by
+  /// exactly one partition.
+  kKeyed,
+};
+
 /// Per-node propagation profile, populated only while the owning network's
 /// profiling flag is on (NetworkOptions::profiling). Every field is a
 /// relaxed atomic: written by whichever single thread processes the node
@@ -145,6 +165,46 @@ class ReteNode {
   virtual bool ReplayOutput(Delta& out) const {
     (void)out;
     return false;
+  }
+
+  /// How (if at all) this node's pending delta may be morsel-partitioned.
+  /// Must be constant for the node's lifetime.
+  virtual MorselKind morsel_kind() const { return MorselKind::kNone; }
+
+  /// For kKeyed nodes: fills `map[i]` for i in [begin, end) with the
+  /// partition owning `delta[i]` on `port`, i.e.
+  /// MorselPartitionOfHash(key hash of delta[i], partitions). Pure and
+  /// side-effect free — the scheduler computes maps for disjoint ranges
+  /// concurrently. Default (kNone/kChunked nodes) is never called.
+  virtual void MorselPartitionMap(int port, const Delta& delta,
+                                  uint32_t partitions, size_t begin,
+                                  size_t end, uint32_t* map) const {
+    (void)port;
+    (void)delta;
+    (void)partitions;
+    (void)begin;
+    (void)end;
+    (void)map;
+  }
+
+  /// Morsel delivery: processes this partition's share of `delta` on
+  /// `port`, appending derived entries to `out` instead of Emit-ing (the
+  /// scheduler merges partition outputs in partition order at the wave
+  /// barrier). For kKeyed nodes `map` is the MorselPartitionMap result and
+  /// the share is every entry with map[i] == partition; memory writes must
+  /// stay within the shards this partition owns. For kChunked nodes `map`
+  /// is null and the share is the `partition`-th of `partitions` equal
+  /// contiguous chunks. Runs on one pool worker concurrently with the
+  /// other partitions of the same node. Default (kNone) is never called.
+  virtual void OnDeltaMorsel(int port, const Delta& delta,
+                             const uint32_t* map, uint32_t partition,
+                             uint32_t partitions, Delta& out) {
+    (void)port;
+    (void)delta;
+    (void)map;
+    (void)partition;
+    (void)partitions;
+    (void)out;
   }
 
   /// Subscribes `node` to this node's output, delivering to its `port`.

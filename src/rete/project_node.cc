@@ -2,11 +2,11 @@
 
 namespace pgivm {
 
-void ProjectNode::OnDelta(int port, const Delta& delta) {
-  (void)port;
-  Delta out;
-  out.reserve(delta.size());
-  for (const DeltaEntry& entry : delta) {
+void ProjectNode::ProcessRange(const Delta& delta, size_t begin, size_t end,
+                               Delta& out) {
+  out.reserve(out.size() + (end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    const DeltaEntry& entry = delta[i];
     std::vector<Value> values;
     values.reserve(columns_.size());
     for (const BoundExpression& column : columns_) {
@@ -14,7 +14,23 @@ void ProjectNode::OnDelta(int port, const Delta& delta) {
     }
     out.push_back({Tuple(std::move(values)), entry.multiplicity});
   }
+}
+
+void ProjectNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  Delta out;
+  ProcessRange(delta, 0, delta.size(), out);
   Emit(std::move(out));
+}
+
+void ProjectNode::OnDeltaMorsel(int port, const Delta& delta,
+                                const uint32_t* map, uint32_t partition,
+                                uint32_t partitions, Delta& out) {
+  (void)port;
+  (void)map;
+  const size_t n = delta.size();
+  ProcessRange(delta, n * partition / partitions,
+               n * (partition + 1) / partitions, out);
 }
 
 }  // namespace pgivm

@@ -1,10 +1,9 @@
 #ifndef PGIVM_RETE_SEMIJOIN_NODE_H_
 #define PGIVM_RETE_SEMIJOIN_NODE_H_
 
-#include <unordered_map>
-
 #include "rete/join_node.h"
 #include "rete/node.h"
+#include "rete/sharded_map.h"
 
 namespace pgivm {
 
@@ -12,11 +11,23 @@ namespace pgivm {
 /// partner in the right input (matching on shared column names), each with
 /// its own multiplicity (no fan-out). Realizes positive `exists(pattern)`
 /// predicates; the dual of AntiJoinNode.
+///
+/// Both memories are keyed (and sharded) by the same join-key tuple, so a
+/// morsel partition's updates to the left memory and support lookups on
+/// the right stay within the shards it owns.
 class SemiJoinNode : public ReteNode {
  public:
   SemiJoinNode(Schema schema, const Schema& left, const Schema& right);
 
   void OnDelta(int port, const Delta& delta) override;
+
+  MorselKind morsel_kind() const override { return MorselKind::kKeyed; }
+  void MorselPartitionMap(int port, const Delta& delta, uint32_t partitions,
+                          size_t begin, size_t end,
+                          uint32_t* map) const override;
+  void OnDeltaMorsel(int port, const Delta& delta, const uint32_t* map,
+                     uint32_t partition, uint32_t partitions,
+                     Delta& out) override;
 
   /// Replays the currently matched left tuples (keys with positive right
   /// support), each with its own multiplicity.
@@ -33,9 +44,12 @@ class SemiJoinNode : public ReteNode {
   const char* KindName() const override { return "SemiJoin"; }
 
  private:
+  void ProcessEntries(int port, const Delta& delta, const uint32_t* map,
+                      uint32_t partition, Delta& out);
+
   JoinLayout layout_;
-  std::unordered_map<Tuple, Bag, TupleHash> left_memory_;
-  std::unordered_map<Tuple, int64_t, TupleHash> right_support_;
+  ShardedTupleMap<Bag> left_memory_;
+  ShardedTupleMap<int64_t> right_support_;
 };
 
 }  // namespace pgivm

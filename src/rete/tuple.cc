@@ -38,6 +38,12 @@ Tuple Tuple::Project(const std::vector<int>& indices) const {
   return Tuple(std::move(out), hash);
 }
 
+size_t Tuple::HashProjected(const std::vector<int>& indices) const {
+  size_t hash = kTupleHashSeed;
+  for (int i : indices) HashCombine(hash, at(static_cast<size_t>(i)).Hash());
+  return hash;
+}
+
 Tuple Tuple::Concat(const Tuple& suffix) const {
   std::vector<Value> out;
   out.reserve(size() + suffix.size());

@@ -27,6 +27,11 @@ class Tuple {
   /// allocation.
   Tuple Project(const std::vector<int>& indices) const;
 
+  /// Hash that Project(indices) would cache, without materializing the
+  /// projected tuple — the morsel partition maps call this once per delta
+  /// entry, so it must not allocate.
+  size_t HashProjected(const std::vector<int>& indices) const;
+
   /// New tuple: this tuple's columns followed by `suffix`'s. Storage is
   /// reserved to the exact final width and the hash continues incrementally
   /// from this tuple's cached hash (the tuple hash is a left fold over the

@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "rete/sharded_map.h"
 #include "support/string_util.h"
 
 namespace pgivm {
@@ -21,29 +22,31 @@ void UnnestNode::ExpandInto(
   out.emplace_back(std::move(collection), multiplicity);  // Scalar singleton.
 }
 
-void UnnestNode::OnDelta(int port, const Delta& delta) {
-  (void)port;
-  Delta out;
-
-  if (!fine_grained_) {
-    for (const DeltaEntry& entry : delta) {
-      Tuple kept = entry.tuple.Project(kept_columns_);
-      std::vector<std::pair<Value, int64_t>> elements;
-      ExpandInto(entry.tuple, entry.multiplicity, elements);
-      for (auto& [element, m] : elements) {
-        out.push_back({kept.Append(std::move(element)), m});
-      }
+void UnnestNode::ProcessNaive(const Delta& delta, size_t begin, size_t end,
+                              Delta& out) {
+  for (size_t i = begin; i < end; ++i) {
+    const DeltaEntry& entry = delta[i];
+    Tuple kept = entry.tuple.Project(kept_columns_);
+    std::vector<std::pair<Value, int64_t>> elements;
+    ExpandInto(entry.tuple, entry.multiplicity, elements);
+    for (auto& [element, m] : elements) {
+      out.push_back({kept.Append(std::move(element)), m});
     }
-    Emit(std::move(out));
-    return;
   }
+}
 
-  // Fine-grained: fold the batch per kept projection, then emit only the
-  // net per-element changes. Retract/assert pairs from a collection update
-  // cancel except for the touched elements.
+// Fine-grained: fold the batch per kept projection, then emit only the
+// net per-element changes. Retract/assert pairs from a collection update
+// cancel except for the touched elements. Under morsel delivery the
+// partition map routes every entry of one kept projection to the same
+// partition, so each fold group is processed whole.
+void UnnestNode::ProcessFolded(const Delta& delta, const uint32_t* map,
+                               uint32_t partition, Delta& out) {
   std::unordered_map<Tuple, std::map<Value, int64_t>, TupleHash> folded;
   std::vector<Tuple> order;
-  for (const DeltaEntry& entry : delta) {
+  for (size_t i = 0; i < delta.size(); ++i) {
+    if (map != nullptr && map[i] != partition) continue;
+    const DeltaEntry& entry = delta[i];
     Tuple kept = entry.tuple.Project(kept_columns_);
     auto [it, inserted] = folded.emplace(kept, std::map<Value, int64_t>{});
     if (inserted) order.push_back(kept);
@@ -56,7 +59,40 @@ void UnnestNode::OnDelta(int port, const Delta& delta) {
       if (m != 0) out.push_back({kept.Append(element), m});
     }
   }
+}
+
+void UnnestNode::OnDelta(int port, const Delta& delta) {
+  (void)port;
+  Delta out;
+  if (!fine_grained_) {
+    ProcessNaive(delta, 0, delta.size(), out);
+  } else {
+    ProcessFolded(delta, /*map=*/nullptr, /*partition=*/0, out);
+  }
   Emit(std::move(out));
+}
+
+void UnnestNode::MorselPartitionMap(int port, const Delta& delta,
+                                    uint32_t partitions, size_t begin,
+                                    size_t end, uint32_t* map) const {
+  (void)port;
+  for (size_t i = begin; i < end; ++i) {
+    map[i] = MorselPartitionOfHash(
+        delta[i].tuple.HashProjected(kept_columns_), partitions);
+  }
+}
+
+void UnnestNode::OnDeltaMorsel(int port, const Delta& delta,
+                               const uint32_t* map, uint32_t partition,
+                               uint32_t partitions, Delta& out) {
+  (void)port;
+  if (!fine_grained_) {
+    const size_t n = delta.size();
+    ProcessNaive(delta, n * partition / partitions,
+                 n * (partition + 1) / partitions, out);
+    return;
+  }
+  ProcessFolded(delta, map, partition, out);
 }
 
 std::string UnnestNode::DebugString() const {

@@ -102,6 +102,9 @@ struct HarnessCase {
   uint64_t seed;
   PropagationStrategy strategy;
   int threads;  // 1 = serial executor, otherwise kParallel with n threads
+  /// Force morsel-style partitioned delivery (node-entry gate = 0) in the
+  /// engine under test — every hot node splits by key every wave.
+  bool morsel = false;
 };
 
 class RandomizedDifferentialTest
@@ -119,6 +122,14 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
     // TSAN job runs), so the work-size gate must not quietly turn small
     // waves serial here; WaveGating covers the gate's own parity.
     options.network.parallel_min_wave_entries = 0;
+  }
+  if (param.morsel) {
+    // Morsel cases additionally force key-partitioned intra-node delivery
+    // on every non-empty node (and parallel source translation for every
+    // batch): the full partitioned path races under the baseline checks.
+    // The gate is deliberately NOT pinned via PGIVM_MORSEL here, so the
+    // TSAN job's PGIVM_MORSEL=0 also forces it for the plain t2/t8 cases.
+    options.network.morsel_min_node_entries = 0;
   }
   // The engine under test runs fully profiled while the reference does
   // not: every bit-identity assertion below then also proves profiling
@@ -243,6 +254,13 @@ std::vector<HarnessCase> HarnessCases() {
     for (int threads : {1, 2, 8}) {
       cases.push_back({seed, PropagationStrategy::kBatched, threads});
     }
+    // Morsel-forced engines under test: every wave splits hot nodes into
+    // key partitions and translates sources in parallel, and must still
+    // be bit-identical to the serial reference and the baseline.
+    for (int threads : {2, 8}) {
+      cases.push_back(
+          {seed, PropagationStrategy::kBatched, threads, /*morsel=*/true});
+    }
   }
   return cases;
 }
@@ -253,7 +271,8 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<HarnessCase>& info) {
       return "seed" + std::to_string(info.param.seed) + "_" +
              PropagationStrategyName(info.param.strategy) + "_t" +
-             std::to_string(info.param.threads);
+             std::to_string(info.param.threads) +
+             (info.param.morsel ? "_morsel" : "");
     });
 
 INSTANTIATE_TEST_SUITE_P(

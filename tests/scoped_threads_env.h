@@ -44,6 +44,39 @@ class ScopedThreadsEnv {
   bool had_ = false;
 };
 
+/// Same save/override/restore dance for any PGIVM_* variable — morsel
+/// tests pin PGIVM_MORSEL (the TSAN CI job exports PGIVM_MORSEL=0 to force
+/// partitioned delivery) exactly like executor tests pin PGIVM_THREADS.
+class ScopedEnvVar {
+ public:
+  /// nullptr unsets the variable; any other value is exported verbatim.
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value == nullptr) {
+      unsetenv(name);
+    } else {
+      setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnvVar() {
+    if (had_) {
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+  ScopedEnvVar(const ScopedEnvVar&) = delete;
+  ScopedEnvVar& operator=(const ScopedEnvVar&) = delete;
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
 }  // namespace pgivm
 
 #endif  // PGIVM_TESTS_SCOPED_THREADS_ENV_H_

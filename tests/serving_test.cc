@@ -185,12 +185,13 @@ void RunConcurrentReaderHarness(const EngineOptions& options, uint64_t seed,
   record_commit(-1);  // the post-registration (primed) state
 
   std::atomic<bool> done{false};
+  std::atomic<int> readers_pinned{0};
   constexpr size_t kMaxPinsPerReader = 300;
   std::vector<std::vector<PinnedState>> pinned(
       static_cast<size_t>(reader_count));
   std::vector<std::thread> readers;
   for (int t = 0; t < reader_count; ++t) {
-    readers.emplace_back([&test_views, &done, &pinned, t] {
+    readers.emplace_back([&test_views, &done, &pinned, &readers_pinned, t] {
       std::vector<PinnedState>& mine = pinned[static_cast<size_t>(t)];
       size_t i = static_cast<size_t>(t);
       while (!done.load(std::memory_order_acquire)) {
@@ -198,6 +199,9 @@ void RunConcurrentReaderHarness(const EngineOptions& options, uint64_t seed,
         std::shared_ptr<const ViewSnapshot> snap = test_views[v]->Pin();
         if (mine.size() < kMaxPinsPerReader) {
           mine.push_back({v, snap->epoch(), snap->rows()});
+          if (mine.size() == 1) {
+            readers_pinned.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         // Exercise the other reader entry points too.
         (void)test_views[v]->size();
@@ -211,6 +215,13 @@ void RunConcurrentReaderHarness(const EngineOptions& options, uint64_t seed,
     for (int i = 0; i < 3; ++i) generator.ApplyRandomUpdate(&graph);
     graph.CommitBatch();
     record_commit(step);
+  }
+  // On an oversubscribed machine (ctest -j on few cores) the readers may
+  // not have been scheduled at all yet; the race being tested needs them
+  // to actually overlap some committed state, so wait until every reader
+  // has recorded at least one pin before stopping them.
+  while (readers_pinned.load(std::memory_order_relaxed) < reader_count) {
+    std::this_thread::yield();
   }
   done.store(true, std::memory_order_release);
   for (std::thread& reader : readers) reader.join();
