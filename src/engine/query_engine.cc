@@ -290,6 +290,23 @@ EngineMetricsSnapshot QueryEngine::MetricsSnapshot() const {
   return snap;
 }
 
+const int64_t* EngineMetricsSnapshot::FindCounter(std::string_view name) const {
+  auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it == counters.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+const HistogramSnapshot* EngineMetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it == histograms.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
 std::string EngineMetricsSnapshot::ToString() const {
   std::ostringstream os;
   os << "catalog: " << catalog.ToString() << "\n";

@@ -62,9 +62,16 @@ struct EngineMetricsSnapshot {
   std::vector<ReteNetwork::NodeMetrics> nodes;
 
   /// Engine-wide named counters and histograms (propagation.*, serving.*,
-  /// ingest.*), in name order.
+  /// ingest.*, and workload instruments like snb.*), in name order.
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Point lookups into the instrument lists (binary search — the lists
+  /// are in name order). Null when no instrument of that name existed at
+  /// snapshot time. Pointers are into this snapshot: they stay valid as
+  /// long as the snapshot itself, and never see later updates.
+  const int64_t* FindCounter(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
 
   /// Multi-line human-readable rendering (totals, then instruments, then
   /// per-node profiles when profiling is on).

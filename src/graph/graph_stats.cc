@@ -64,4 +64,57 @@ std::string GraphStats::ToString() const {
   return os.str();
 }
 
+namespace {
+
+uint64_t FingerprintMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 1099511628211ULL;
+}
+
+uint64_t FingerprintString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h = (h ^ static_cast<uint64_t>(static_cast<unsigned char>(c))) *
+        1099511628211ULL;
+  }
+  return h;
+}
+
+// Values hash through their canonical rendering: ToString is deterministic
+// (lists in order, maps sorted by key) and covers every nested shape.
+uint64_t FingerprintValue(const Value& v) {
+  return FingerprintString(v.ToString());
+}
+
+uint64_t FingerprintProperties(uint64_t h, const ValueMap& properties) {
+  for (const auto& [key, value] : properties) {  // std::map: sorted keys
+    h = FingerprintMix(h, FingerprintString(key));
+    h = FingerprintMix(h, FingerprintValue(value));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t GraphFingerprint(const PropertyGraph& graph) {
+  uint64_t h = 0x5eed5eed5eed5eedULL;
+  graph.ForEachVertex([&](VertexId v) {
+    h = FingerprintMix(h, 0x11);
+    h = FingerprintMix(h, static_cast<uint64_t>(v));
+    for (const std::string& label : graph.VertexLabels(v)) {  // sorted
+      h = FingerprintMix(h, FingerprintString(label));
+    }
+    h = FingerprintProperties(h, graph.VertexProperties(v));
+  });
+  graph.ForEachEdge([&](EdgeId e) {
+    h = FingerprintMix(h, 0x22);
+    h = FingerprintMix(h, static_cast<uint64_t>(e));
+    h = FingerprintMix(h, static_cast<uint64_t>(graph.EdgeSource(e)));
+    h = FingerprintMix(h, static_cast<uint64_t>(graph.EdgeTarget(e)));
+    h = FingerprintMix(h, FingerprintString(graph.EdgeType(e)));
+    h = FingerprintProperties(h, graph.EdgeProperties(e));
+  });
+  return h;
+}
+
 }  // namespace pgivm

@@ -29,6 +29,16 @@ struct GraphStats {
 /// Computes statistics by one pass over the graph.
 GraphStats ComputeGraphStats(const PropertyGraph& graph);
 
+/// Order-stable 64-bit fingerprint of the full graph content: every live
+/// vertex (id, labels, properties) and edge (id, endpoints, type,
+/// properties), visited in increasing id order with sorted property maps —
+/// no unordered-container iteration anywhere, so equal graphs hash equal on
+/// every run, platform and thread setting. Two graphs built by the same
+/// deterministic mutation sequence must fingerprint identically; this is
+/// the bit-parity anchor of the SNB driver's validation mode and the
+/// generator determinism tests.
+uint64_t GraphFingerprint(const PropertyGraph& graph);
+
 }  // namespace pgivm
 
 #endif  // PGIVM_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,119 @@
+#include "support/repro.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "support/string_util.h"
+
+namespace pgivm {
+
+namespace {
+
+/// Strict full-string integer parse, same discipline as the PGIVM_THREADS
+/// override: trailing garbage and out-of-range values are errors.
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string ReproSpec::Format() const {
+  std::ostringstream os;
+  os << "seed=" << seed << ",strategy=" << PropagationStrategyName(strategy)
+     << ",threads=" << threads << ",morsel=" << (morsel ? 1 : 0)
+     << ",step=" << step;
+  return os.str();
+}
+
+std::string ReproSpec::EnvLine() const {
+  return StrCat("PGIVM_REPRO=\"", Format(), "\"");
+}
+
+bool ReproSpec::SameCase(const ReproSpec& other) const {
+  return seed == other.seed && strategy == other.strategy &&
+         threads == other.threads && morsel == other.morsel;
+}
+
+Result<ReproSpec> ReproSpec::Parse(const std::string& text) {
+  ReproSpec spec;
+  bool have_seed = false, have_strategy = false, have_threads = false,
+       have_morsel = false;
+  std::stringstream stream(text);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("PGIVM_REPRO field without '=': '", field, "'"));
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    int64_t number = 0;
+    if (key == "strategy") {
+      if (value == "eager") {
+        spec.strategy = PropagationStrategy::kEager;
+      } else if (value == "batched") {
+        spec.strategy = PropagationStrategy::kBatched;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("PGIVM_REPRO unknown strategy '", value, "'"));
+      }
+      have_strategy = true;
+      continue;
+    }
+    if (!ParseInt64(value, &number)) {
+      return Status::InvalidArgument(
+          StrCat("PGIVM_REPRO malformed number in '", field, "'"));
+    }
+    if (key == "seed") {
+      spec.seed = static_cast<uint64_t>(number);
+      have_seed = true;
+    } else if (key == "threads") {
+      spec.threads = static_cast<int>(number);
+      have_threads = true;
+    } else if (key == "morsel") {
+      spec.morsel = number != 0;
+      have_morsel = true;
+    } else if (key == "step") {
+      spec.step = number;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("PGIVM_REPRO unknown key '", key, "'"));
+    }
+  }
+  if (!have_seed || !have_strategy || !have_threads || !have_morsel) {
+    return Status::InvalidArgument(
+        "PGIVM_REPRO requires seed=, strategy=, threads= and morsel=");
+  }
+  return spec;
+}
+
+std::optional<ReproSpec> ReproSpec::FromEnv() {
+  const char* raw = std::getenv("PGIVM_REPRO");
+  if (raw == nullptr) return std::nullopt;
+  // Tolerate the quotes EnvLine() prints, so the recipe is copy-paste-able
+  // into shells that keep them.
+  std::string text(raw);
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    text = text.substr(1, text.size() - 2);
+  }
+  Result<ReproSpec> parsed = Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "pgivm: ignoring PGIVM_REPRO: %s\n",
+                 parsed.status().message().c_str());
+    return std::nullopt;
+  }
+  return parsed.value();
+}
+
+}  // namespace pgivm

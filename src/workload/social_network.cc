@@ -1,10 +1,27 @@
 #include "workload/social_network.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/string_util.h"
 
 namespace pgivm {
+
+SocialNetworkConfig SocialNetworkConfig::AtScale(double sf, uint64_t seed) {
+  if (sf < 0.0) sf = 0.0;
+  SocialNetworkConfig config;
+  config.scale_factor = sf;
+  config.seed = seed;
+  config.persons =
+      std::max<int64_t>(10, static_cast<int64_t>(std::llround(1000.0 * sf)));
+  const int64_t log_term =
+      static_cast<int64_t>(std::llround(std::log2(1.0 + sf)));
+  config.posts_per_person = 2;
+  config.comments_per_post = 4 + 2 * log_term;
+  config.max_reply_depth = 4 + log_term;
+  config.knows_per_person = 3 + 2 * log_term;
+  return config;
+}
 
 const std::vector<std::string>& SocialNetworkGenerator::Languages() {
   static const auto* langs = new std::vector<std::string>{
@@ -12,26 +29,26 @@ const std::vector<std::string>& SocialNetworkGenerator::Languages() {
   return *langs;
 }
 
-std::string SocialNetworkGenerator::RandomLanguage() {
-  return Languages()[rng_.NextBelow(Languages().size())];
+std::string SocialNetworkGenerator::RandomLanguage(Rng& rng) {
+  return Languages()[rng.NextBelow(Languages().size())];
 }
 
-VertexId SocialNetworkGenerator::RandomMessage() {
+VertexId SocialNetworkGenerator::RandomMessage(Rng& rng) {
   size_t total = posts_.size() + comments_.size();
-  size_t i = rng_.NextBelow(total);
+  size_t i = rng.NextBelow(total);
   return i < posts_.size() ? posts_[i] : comments_[i - posts_.size()];
 }
 
-VertexId SocialNetworkGenerator::AddReply(PropertyGraph* graph,
+VertexId SocialNetworkGenerator::AddReply(Rng& rng, PropertyGraph* graph,
                                           VertexId parent) {
   VertexId comment = graph->AddVertex(
       {"Comm"},
-      {{"lang", Value::String(RandomLanguage())},
-       {"length", Value::Int(rng_.NextInRange(5, 500))}});
+      {{"lang", Value::String(RandomLanguage(rng))},
+       {"length", Value::Int(rng.NextInRange(5, 500))}});
   comments_.push_back(comment);
   (void)graph->AddEdge(parent, comment, "REPLY").value();
   if (!persons_.empty()) {
-    VertexId author = persons_[rng_.NextBelow(persons_.size())];
+    VertexId author = persons_[rng.NextBelow(persons_.size())];
     (void)graph->AddEdge(comment, author, "HAS_CREATOR").value();
   }
   return comment;
@@ -43,7 +60,7 @@ void SocialNetworkGenerator::Populate(PropertyGraph* graph) {
     ValueList speaks;
     size_t language_count = 1 + rng_.NextBelow(3);
     for (size_t l = 0; l < language_count; ++l) {
-      speaks.push_back(Value::String(RandomLanguage()));
+      speaks.push_back(Value::String(RandomLanguage(rng_)));
     }
     std::sort(speaks.begin(), speaks.end());
     speaks.erase(std::unique(speaks.begin(), speaks.end()), speaks.end());
@@ -58,7 +75,14 @@ void SocialNetworkGenerator::Populate(PropertyGraph* graph) {
 
   graph->BeginBatch();
   for (VertexId person : persons_) {
-    for (int64_t k = 0; k < config_.knows_per_person; ++k) {
+    // Heavy-tailed friendship degree: most persons get the base degree, a
+    // hub_fraction slice gets hub_degree_multiplier times as many — the
+    // celebrity shape a Zipf-ish social graph has.
+    int64_t degree = config_.knows_per_person;
+    if (rng_.NextBool(config_.hub_fraction)) {
+      degree *= std::max<int64_t>(1, config_.hub_degree_multiplier);
+    }
+    for (int64_t k = 0; k < degree; ++k) {
       VertexId other = persons_[rng_.NextBelow(persons_.size())];
       if (other == person) continue;
       (void)graph->AddEdge(person, other, "KNOWS").value();
@@ -71,7 +95,7 @@ void SocialNetworkGenerator::Populate(PropertyGraph* graph) {
     for (int64_t p = 0; p < config_.posts_per_person; ++p) {
       VertexId post = graph->AddVertex(
           {"Post"},
-          {{"lang", Value::String(RandomLanguage())},
+          {{"lang", Value::String(RandomLanguage(rng_))},
            {"length", Value::Int(rng_.NextInRange(10, 2000))}});
       posts_.push_back(post);
       (void)graph->AddEdge(post, person, "HAS_CREATOR").value();
@@ -87,26 +111,40 @@ void SocialNetworkGenerator::Populate(PropertyGraph* graph) {
     for (int64_t c = 0; c < config_.comments_per_post; ++c) {
       auto [parent, depth] = frontier[rng_.NextBelow(frontier.size())];
       if (depth >= config_.max_reply_depth) continue;
-      VertexId comment = AddReply(graph, parent);
+      VertexId comment = AddReply(rng_, graph, parent);
       frontier.emplace_back(comment, depth + 1);
     }
   }
   graph->CommitBatch();
 
   graph->BeginBatch();
-  for (VertexId person : persons_) {
-    for (VertexId post : posts_) {
-      if (rng_.NextBool(config_.like_probability /
-                        static_cast<double>(config_.persons))) {
-        (void)graph->AddEdge(person, post, "LIKES").value();
-      }
+  for (VertexId post : posts_) {
+    // like_probability is the expected LIKES per message: draw the integer
+    // part outright and the fractional part as one Bernoulli trial, so
+    // population cost is O(posts), not O(persons x posts).
+    double expected = std::max(0.0, config_.like_probability);
+    int64_t likes = static_cast<int64_t>(expected);
+    if (rng_.NextBool(expected - static_cast<double>(likes))) ++likes;
+    for (int64_t l = 0; l < likes && !persons_.empty(); ++l) {
+      VertexId person = persons_[rng_.NextBelow(persons_.size())];
+      (void)graph->AddEdge(person, post, "LIKES").value();
     }
   }
   graph->CommitBatch();
 }
 
 void SocialNetworkGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
-  uint64_t pick = rng_.NextBelow(100);
+  ApplyUpdateWith(rng_, graph);
+}
+
+void SocialNetworkGenerator::ApplyUpdate(PropertyGraph* graph,
+                                         uint64_t op_seed) {
+  Rng rng(op_seed);
+  ApplyUpdateWith(rng, graph);
+}
+
+void SocialNetworkGenerator::ApplyUpdateWith(Rng& rng, PropertyGraph* graph) {
+  uint64_t pick = rng.NextBelow(100);
   // Open a batch only when the caller has not: callers compose several
   // updates into one atomic delta by wrapping calls in BeginBatch/
   // CommitBatch themselves (batches do not nest).
@@ -114,25 +152,25 @@ void SocialNetworkGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
   if (own_batch) graph->BeginBatch();
   if (pick < 35) {
     // New reply comment under a random message.
-    AddReply(graph, RandomMessage());
+    AddReply(rng, graph, RandomMessage(rng));
   } else if (pick < 50) {
     // Language flip on a random message (touches maintained predicates).
-    VertexId message = RandomMessage();
+    VertexId message = RandomMessage(rng);
     (void)graph->SetVertexProperty(message, "lang",
-                                   Value::String(RandomLanguage()));
+                                   Value::String(RandomLanguage(rng)));
   } else if (pick < 65 && !persons_.empty()) {
     // New like.
-    VertexId person = persons_[rng_.NextBelow(persons_.size())];
-    (void)graph->AddEdge(person, RandomMessage(), "LIKES");
+    VertexId person = persons_[rng.NextBelow(persons_.size())];
+    (void)graph->AddEdge(person, RandomMessage(rng), "LIKES");
   } else if (pick < 75 && persons_.size() >= 2) {
     // New knows edge.
-    VertexId a = persons_[rng_.NextBelow(persons_.size())];
-    VertexId b = persons_[rng_.NextBelow(persons_.size())];
+    VertexId a = persons_[rng.NextBelow(persons_.size())];
+    VertexId b = persons_[rng.NextBelow(persons_.size())];
     if (a != b) (void)graph->AddEdge(a, b, "KNOWS");
   } else if (pick < 85 && !persons_.empty()) {
     // Fine-grained profile update: append or remove a spoken language.
-    VertexId person = persons_[rng_.NextBelow(persons_.size())];
-    std::string lang = RandomLanguage();
+    VertexId person = persons_[rng.NextBelow(persons_.size())];
+    std::string lang = RandomLanguage(rng);
     Value speaks = graph->GetVertexProperty(person, "speaks");
     bool has = false;
     if (speaks.is_list()) {
@@ -148,7 +186,7 @@ void SocialNetworkGenerator::ApplyRandomUpdate(PropertyGraph* graph) {
   } else if (!comments_.empty()) {
     // Delete a random leaf comment (no replies below it).
     for (int attempt = 0; attempt < 8; ++attempt) {
-      size_t i = rng_.NextBelow(comments_.size());
+      size_t i = rng.NextBelow(comments_.size());
       VertexId comment = comments_[i];
       if (!graph->HasVertex(comment)) continue;
       bool leaf = true;

@@ -24,8 +24,23 @@ struct SocialNetworkConfig {
   int64_t comments_per_post = 4;
   int64_t max_reply_depth = 4;
   int64_t knows_per_person = 3;
+  /// Fraction of persons whose KNOWS degree is multiplied by
+  /// `hub_degree_multiplier` — the heavy tail of the SNB friendship
+  /// distribution (a few celebrities, many ordinary profiles).
+  double hub_fraction = 0.05;
+  int64_t hub_degree_multiplier = 4;
+  /// Expected LIKES edges per message (fractional part drawn per post).
   double like_probability = 0.3;
   uint64_t seed = 42;
+  /// Informational: the scale factor this config was derived from by
+  /// AtScale(), 0 when hand-built. The SNB driver carries it into reports.
+  double scale_factor = 0.0;
+
+  /// SF-style sizing, LDBC-flavoured: SF 1.0 ≈ 1000 persons, with degree,
+  /// reply-tree fan-out and reply depth growing logarithmically in SF (the
+  /// SNB datagen's densification shape, scaled down to in-memory tests).
+  /// Deterministic: equal (sf, seed) pairs produce identical configs.
+  static SocialNetworkConfig AtScale(double sf, uint64_t seed = 42);
 };
 
 /// Builds and evolves the social graph.
@@ -36,6 +51,13 @@ struct SocialNetworkConfig {
 ///           (message)-[:REPLY]->(:Comm)        — parent to reply,
 ///           (:Person)-[:LIKES]->(message),
 ///           (message)-[:HAS_CREATOR]->(:Person).
+///
+/// Determinism contract (the SNB driver's validation mode depends on it):
+/// Populate and every ApplyUpdate/ApplyRandomUpdate sequence are pure
+/// functions of (config, call order, op seeds) — no iteration over
+/// unordered containers, no wall-clock, no thread-dependent state — so a
+/// fixed seed replays to a bit-identical graph (see GraphFingerprint in
+/// graph/graph_stats.h) on every run and under every engine thread setting.
 class SocialNetworkGenerator {
  public:
   explicit SocialNetworkGenerator(const SocialNetworkConfig& config)
@@ -48,8 +70,16 @@ class SocialNetworkGenerator {
   /// new reply comment, new like, new knows edge, language flip, profile
   /// language append/removal, or leaf-comment deletion. Emits one delta
   /// per call, unless the caller is composing a larger batch (then the
-  /// changes join it).
+  /// changes join it). Consumes the generator's own RNG stream.
   void ApplyRandomUpdate(PropertyGraph* graph);
+
+  /// Same operation mix, but drawn from a throwaway RNG seeded with
+  /// `op_seed` instead of the generator's stream — the SNB driver's
+  /// replayable update: the op's content is a pure function of
+  /// (op_seed, generator state), so a recorded operation stream applied in
+  /// the same order reproduces the same graph, while a timed run may apply
+  /// the very same ops in whatever order its clients submitted them.
+  void ApplyUpdate(PropertyGraph* graph, uint64_t op_seed);
 
   const std::vector<VertexId>& persons() const { return persons_; }
   const std::vector<VertexId>& posts() const { return posts_; }
@@ -59,11 +89,14 @@ class SocialNetworkGenerator {
   static const std::vector<std::string>& Languages();
 
  private:
-  std::string RandomLanguage();
-  VertexId RandomMessage();
+  std::string RandomLanguage(Rng& rng);
+  VertexId RandomMessage(Rng& rng);
 
   /// Adds one reply comment under `parent` and returns it.
-  VertexId AddReply(PropertyGraph* graph, VertexId parent);
+  VertexId AddReply(Rng& rng, PropertyGraph* graph, VertexId parent);
+
+  /// The shared operation-mix body behind ApplyRandomUpdate/ApplyUpdate.
+  void ApplyUpdateWith(Rng& rng, PropertyGraph* graph);
 
   SocialNetworkConfig config_;
   Rng rng_;

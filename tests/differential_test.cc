@@ -7,6 +7,7 @@
 #include "baseline/baseline_evaluator.h"
 #include "engine/query_engine.h"
 #include "scoped_threads_env.h"
+#include "support/repro.h"
 #include "workload/random_graph.h"
 
 namespace pgivm {
@@ -113,6 +114,26 @@ class RandomizedDifferentialTest
 TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
   const HarnessCase& param = GetParam();
 
+  // Replay filter: exporting the PGIVM_REPRO recipe a parity failure
+  // prints makes the harness run *only* the recorded case — one
+  // `ctest -R Randomized` reruns exactly the flake.
+  ReproSpec this_case;
+  this_case.seed = param.seed;
+  this_case.strategy = param.strategy;
+  this_case.threads = param.threads;
+  this_case.morsel = param.morsel;
+  if (std::optional<ReproSpec> filter = ReproSpec::FromEnv()) {
+    if (!filter->SameCase(this_case)) {
+      GTEST_SKIP() << "PGIVM_REPRO pins " << filter->Format();
+    }
+  }
+  // One-line replay recipe stamped into every divergence message below.
+  auto recipe = [&this_case](int step) {
+    ReproSpec spec = this_case;
+    spec.step = step;
+    return spec.EnvLine();
+  };
+
   EngineOptions options;
   options.network.propagation = param.strategy;
   if (param.threads > 1) {
@@ -201,25 +222,28 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
       std::vector<Tuple> actual = views[q]->Snapshot();
       std::vector<Tuple> reference = reference_views[q]->Snapshot();
       ASSERT_EQ(actual.size(), reference.size())
-          << kHarnessQueries[q] << " diverged from serial at step " << step;
+          << kHarnessQueries[q] << " diverged from serial at step " << step
+          << "\n  replay with: " << recipe(step);
       for (size_t i = 0; i < actual.size(); ++i) {
         ASSERT_EQ(Tuple::Compare(actual[i], reference[i]), 0)
             << kHarnessQueries[q] << " step " << step << " row " << i
             << ": " << actual[i].ToString() << " vs "
-            << reference[i].ToString();
+            << reference[i].ToString()
+            << "\n  replay with: " << recipe(step);
       }
       if (!check_baseline) continue;
       Result<std::vector<Tuple>> expected =
           engine.EvaluateOnce(kHarnessQueries[q]);
       ASSERT_TRUE(expected.ok()) << expected.status();
       ASSERT_EQ(actual.size(), expected.value().size())
-          << kHarnessQueries[q] << " diverged from baseline at step "
-          << step;
+          << kHarnessQueries[q] << " diverged from baseline at step " << step
+          << "\n  replay with: " << recipe(step);
       for (size_t i = 0; i < actual.size(); ++i) {
         ASSERT_EQ(Tuple::Compare(actual[i], expected.value()[i]), 0)
             << kHarnessQueries[q] << " step " << step << " row " << i
             << ": " << actual[i].ToString() << " vs "
-            << expected.value()[i].ToString();
+            << expected.value()[i].ToString()
+            << "\n  replay with: " << recipe(step);
       }
     }
   }
@@ -236,10 +260,12 @@ TEST_P(RandomizedDifferentialTest, AllViewsMatchSerialReferenceAndBaseline) {
     std::vector<Tuple> actual = views[q]->Snapshot();
     std::vector<Tuple> rebuilt = (*fresh)->Snapshot();
     ASSERT_EQ(actual.size(), rebuilt.size())
-        << kHarnessQueries[q] << ": replay-primed catalog != fresh build";
+        << kHarnessQueries[q] << ": replay-primed catalog != fresh build"
+        << "\n  replay with: " << recipe(-1);
     for (size_t i = 0; i < actual.size(); ++i) {
       ASSERT_EQ(Tuple::Compare(actual[i], rebuilt[i]), 0)
-          << kHarnessQueries[q] << " row " << i;
+          << kHarnessQueries[q] << " row " << i
+          << "\n  replay with: " << recipe(-1);
     }
   }
 }

@@ -549,5 +549,35 @@ TEST(ProfileEnv, AppliedAtEngineConstruction) {
   EXPECT_TRUE(engine.profiling());
 }
 
+TEST(MetricsSnapshot, FindCounterAndHistogramPointLookups) {
+  ScopedThreadsEnv no_env(nullptr);
+  PropertyGraph graph;
+  QueryEngine engine(&graph);
+  engine.metrics().GetCounter("test.alpha").Add(3);
+  engine.metrics().GetCounter("test.beta").Add(7);
+  engine.metrics().GetHistogram("test.lat_ns").Record(1000);
+  engine.metrics().GetHistogram("test.lat_ns").Record(3000);
+
+  const EngineMetricsSnapshot snap = engine.MetricsSnapshot();
+  const int64_t* alpha = snap.FindCounter("test.alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(*alpha, 3);
+  const int64_t* beta = snap.FindCounter("test.beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(*beta, 7);
+  EXPECT_EQ(snap.FindCounter("test.gamma"), nullptr);
+  EXPECT_EQ(snap.FindCounter(""), nullptr);
+
+  const HistogramSnapshot* hist = snap.FindHistogram("test.lat_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2);
+  EXPECT_EQ(snap.FindHistogram("test.nope"), nullptr);
+
+  // The pointers are into the snapshot copy: later recordings do not move
+  // what an already-taken snapshot reports.
+  engine.metrics().GetCounter("test.alpha").Add(100);
+  EXPECT_EQ(*alpha, 3);
+}
+
 }  // namespace
 }  // namespace pgivm

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/query_engine.h"
+#include "scoped_threads_env.h"
+#include "workload/social_network.h"
+
 namespace pgivm {
 namespace {
 
@@ -202,6 +206,82 @@ TEST(PathNodeTest, InsertInMiddleCreatesCrossPaths) {
   // New: v2->v3, v1->v3, v2->v4, v1->v4.
   EXPECT_EQ(f.sink.bag.total_count(), 6);
   EXPECT_EQ(f.sink.bag.Count(Pair(v1, v4)), 1);
+}
+
+// ---- forced morsel delivery (PGIVM_MORSEL=0) --------------------------------
+
+TEST(PathNodeMorselTest, PathSourceDeclaresNoMorselKind) {
+  // The morsel scheduler only partitions nodes that opt in via
+  // morsel_kind(); PathInputNode keeps the base kNone — its transitive
+  // expansion is stateful across entries and must stay serial even when
+  // the gate forces every eligible node to split.
+  Fixture f(1, -1);
+  EXPECT_EQ(f.node.morsel_kind(), MorselKind::kNone);
+}
+
+TEST(PathNodeMorselTest, ForcedMorselBitIdenticalOnPathHeavyWorkload) {
+  // PGIVM_MORSEL=0 (the TSAN job's setting) forces key-partitioned
+  // delivery on every opted-in node of every wave. On a reply-tree-heavy
+  // social workload the kNone path source must stay serial and the
+  // path views bit-identical to an unforced serial reference.
+  ScopedThreadsEnv pin_threads(nullptr);
+
+  PropertyGraph graph;
+  SocialNetworkConfig config = SocialNetworkConfig::AtScale(0.02, 5);
+  SocialNetworkGenerator generator(config);
+  generator.Populate(&graph);
+
+  const char* kPathQueries[] = {
+      "MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN p, c",
+      "MATCH (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang "
+      "RETURN p, c",
+      "MATCH t = (p:Post)-[:REPLY*1..3]->(c:Comm) RETURN t",
+  };
+
+  // Engine under test: parallel waves with the morsel gate forced via the
+  // env override (read at engine construction), exactly how the TSAN CI
+  // job sees every engine. The override scope only needs to cover the
+  // constructor.
+  std::unique_ptr<QueryEngine> forced;
+  {
+    ScopedEnvVar force_morsel("PGIVM_MORSEL", "0");
+    EngineOptions options;
+    options.network.executor = ExecutorKind::kParallel;
+    options.network.num_threads = 4;
+    options.network.parallel_min_wave_entries = 0;
+    forced = std::make_unique<QueryEngine>(&graph, options);
+  }
+  // Reference: plain serial engine, morsel pinned away.
+  ScopedEnvVar no_morsel("PGIVM_MORSEL", nullptr);
+  QueryEngine reference(&graph, EngineOptions{});
+
+  std::vector<std::shared_ptr<View>> forced_views;
+  std::vector<std::shared_ptr<View>> reference_views;
+  for (const char* query : kPathQueries) {
+    Result<std::shared_ptr<View>> forced_view = forced->Register(query);
+    ASSERT_TRUE(forced_view.ok()) << forced_view.status();
+    forced_views.push_back(*forced_view);
+    Result<std::shared_ptr<View>> reference_view = reference.Register(query);
+    ASSERT_TRUE(reference_view.ok()) << reference_view.status();
+    reference_views.push_back(*reference_view);
+  }
+
+  Rng op_seeds(123);
+  for (int step = 0; step < 60; ++step) {
+    generator.ApplyUpdate(&graph, op_seeds.Next());
+    for (size_t q = 0; q < forced_views.size(); ++q) {
+      std::vector<Tuple> actual = forced_views[q]->Snapshot();
+      std::vector<Tuple> expected = reference_views[q]->Snapshot();
+      ASSERT_EQ(actual.size(), expected.size())
+          << kPathQueries[q] << " diverged at step " << step;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        ASSERT_EQ(Tuple::Compare(actual[i], expected[i]), 0)
+            << kPathQueries[q] << " step " << step << " row " << i;
+      }
+    }
+  }
+  // The engine under test really ran forced-morsel parallel waves.
+  EXPECT_EQ(forced->options().network.executor, ExecutorKind::kParallel);
 }
 
 }  // namespace

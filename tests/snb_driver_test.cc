@@ -1,0 +1,396 @@
+// SNB interactive driver: stream determinism, timed-mode reporting,
+// validation-mode bit-parity across engine shapes, the PGIVM_REPRO replay
+// recipe, and the generator determinism lock the validation contract
+// stands on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "graph/graph_stats.h"
+#include "scoped_threads_env.h"
+#include "workload/snb_driver.h"
+
+namespace pgivm {
+namespace {
+
+SnbDriverConfig SmallConfig() {
+  SnbDriverConfig config;
+  config.scale_factor = 0.02;
+  config.seed = 42;
+  config.operations = 200;
+  return config;
+}
+
+// ---- operation stream ------------------------------------------------------
+
+TEST(SnbStreamTest, DeterministicForSameConfig) {
+  SnbDriver a(SmallConfig());
+  SnbDriver b(SmallConfig());
+  ASSERT_EQ(a.stream().size(), b.stream().size());
+  for (size_t i = 0; i < a.stream().size(); ++i) {
+    EXPECT_EQ(a.stream()[i].op_class, b.stream()[i].op_class);
+    EXPECT_EQ(a.stream()[i].seed, b.stream()[i].seed);
+  }
+}
+
+TEST(SnbStreamTest, SeedChangesStream) {
+  SnbDriverConfig other = SmallConfig();
+  other.seed = 43;
+  SnbDriver a(SmallConfig());
+  SnbDriver b(other);
+  bool differs = false;
+  for (size_t i = 0; i < a.stream().size() && !differs; ++i) {
+    differs = a.stream()[i].seed != b.stream()[i].seed;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SnbStreamTest, MixFollowsWeights) {
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 4000;
+  SnbDriver driver(config);
+  int64_t counts[3] = {0, 0, 0};
+  for (const SnbOp& op : driver.stream()) {
+    ++counts[static_cast<int>(op.op_class)];
+  }
+  const double total = static_cast<double>(config.operations);
+  // Defaults are 10/55/35; a 4000-op stream should land within a few
+  // points of the expectation.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / total, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / total, 0.55, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / total, 0.35, 0.03);
+}
+
+TEST(SnbStreamTest, PureReadMixNeedsNoUpdates) {
+  SnbDriverConfig config = SmallConfig();
+  config.update_weight = 0;
+  config.complex_read_weight = 1;
+  config.short_read_weight = 1;
+  SnbDriver driver(config);
+  for (const SnbOp& op : driver.stream()) {
+    EXPECT_NE(op.op_class, SnbOpClass::kUpdate);
+  }
+}
+
+TEST(SnbStreamTest, OpClassNames) {
+  EXPECT_STREQ(SnbOpClassName(SnbOpClass::kComplexRead), "complex_read");
+  EXPECT_STREQ(SnbOpClassName(SnbOpClass::kShortRead), "short_read");
+  EXPECT_STREQ(SnbOpClassName(SnbOpClass::kUpdate), "update");
+}
+
+// ---- scale factors ---------------------------------------------------------
+
+TEST(SnbScaleTest, AtScaleGrowsMonotonically) {
+  SocialNetworkConfig sf01 = SocialNetworkConfig::AtScale(0.1);
+  SocialNetworkConfig sf1 = SocialNetworkConfig::AtScale(1.0);
+  SocialNetworkConfig sf4 = SocialNetworkConfig::AtScale(4.0);
+  EXPECT_EQ(sf01.persons, 100);
+  EXPECT_EQ(sf1.persons, 1000);
+  EXPECT_EQ(sf4.persons, 4000);
+  EXPECT_LE(sf01.knows_per_person, sf1.knows_per_person);
+  EXPECT_LE(sf1.knows_per_person, sf4.knows_per_person);
+  EXPECT_LE(sf01.comments_per_post, sf4.comments_per_post);
+  EXPECT_LE(sf01.max_reply_depth, sf4.max_reply_depth);
+  EXPECT_DOUBLE_EQ(sf4.scale_factor, 4.0);
+}
+
+TEST(SnbScaleTest, AtScaleFloorsTinyFactors) {
+  EXPECT_GE(SocialNetworkConfig::AtScale(0.0).persons, 10);
+  EXPECT_GE(SocialNetworkConfig::AtScale(0.001).persons, 10);
+}
+
+TEST(SnbScaleTest, GraphSizeTracksScaleFactor) {
+  PropertyGraph small, large;
+  SocialNetworkGenerator(SocialNetworkConfig::AtScale(0.02)).Populate(&small);
+  SocialNetworkGenerator(SocialNetworkConfig::AtScale(0.1)).Populate(&large);
+  EXPECT_GT(large.vertex_count(), small.vertex_count());
+  EXPECT_GT(large.edge_count(), small.edge_count());
+}
+
+// ---- generator determinism lock (the validation contract) ------------------
+
+TEST(SnbDeterminismTest, PopulatePlusUpdatesFingerprintIsStable) {
+  // Same seed, same op-seed sequence => bit-identical graph, across
+  // independent generator instances and regardless of engine thread
+  // settings (the generator never looks at them — but make the claim
+  // explicit by varying PGIVM_THREADS, which engines read, around it).
+  auto build = [](const char* threads_env) {
+    ScopedThreadsEnv env(threads_env);
+    PropertyGraph graph;
+    SocialNetworkGenerator generator(SocialNetworkConfig::AtScale(0.02, 7));
+    generator.Populate(&graph);
+    Rng op_seeds(99);
+    for (int k = 0; k < 50; ++k) {
+      generator.ApplyUpdate(&graph, op_seeds.Next());
+    }
+    return GraphFingerprint(graph);
+  };
+  const uint64_t base = build(nullptr);
+  EXPECT_EQ(build(nullptr), base);
+  EXPECT_EQ(build("1"), base);
+  EXPECT_EQ(build("8"), base);
+}
+
+TEST(SnbDeterminismTest, DifferentSeedsDiverge) {
+  PropertyGraph a, b;
+  SocialNetworkGenerator(SocialNetworkConfig::AtScale(0.02, 7)).Populate(&a);
+  SocialNetworkGenerator(SocialNetworkConfig::AtScale(0.02, 8)).Populate(&b);
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(b));
+}
+
+TEST(SnbDeterminismTest, FingerprintSeesPropertyChanges) {
+  PropertyGraph graph;
+  VertexId v = graph.AddVertex({"Person"}, {{"name", Value::String("a")}});
+  const uint64_t before = GraphFingerprint(graph);
+  ASSERT_TRUE(graph.SetVertexProperty(v, "name", Value::String("b")).ok());
+  EXPECT_NE(GraphFingerprint(graph), before);
+}
+
+// ---- repro spec ------------------------------------------------------------
+
+TEST(ReproSpecTest, FormatParseRoundTrip) {
+  ReproSpec spec;
+  spec.seed = 1234;
+  spec.strategy = PropagationStrategy::kEager;
+  spec.threads = 8;
+  spec.morsel = true;
+  spec.step = 17;
+  EXPECT_EQ(spec.Format(), "seed=1234,strategy=eager,threads=8,morsel=1,step=17");
+  EXPECT_EQ(spec.EnvLine(),
+            "PGIVM_REPRO=\"seed=1234,strategy=eager,threads=8,morsel=1,step=17\"");
+  Result<ReproSpec> parsed = ReproSpec::Parse(spec.Format());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->seed, 1234u);
+  EXPECT_EQ(parsed->strategy, PropagationStrategy::kEager);
+  EXPECT_EQ(parsed->threads, 8);
+  EXPECT_TRUE(parsed->morsel);
+  EXPECT_EQ(parsed->step, 17);
+  EXPECT_TRUE(parsed->SameCase(spec));
+}
+
+TEST(ReproSpecTest, SameCaseIgnoresStep) {
+  ReproSpec a, b;
+  a.seed = b.seed = 5;
+  a.step = 3;
+  b.step = 99;
+  EXPECT_TRUE(a.SameCase(b));
+  b.threads = 4;
+  EXPECT_FALSE(a.SameCase(b));
+}
+
+TEST(ReproSpecTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ReproSpec::Parse("").ok());
+  EXPECT_FALSE(ReproSpec::Parse("seed=1").ok());  // missing required keys
+  EXPECT_FALSE(
+      ReproSpec::Parse("seed=x,strategy=batched,threads=1,morsel=0").ok());
+  EXPECT_FALSE(
+      ReproSpec::Parse("seed=1,strategy=wild,threads=1,morsel=0").ok());
+  EXPECT_FALSE(
+      ReproSpec::Parse("seed=1,strategy=batched,threads=1,morsel=0,bogus=1")
+          .ok());
+}
+
+TEST(ReproSpecTest, FromEnvReadsAndStripsQuotes) {
+  ScopedEnvVar repro("PGIVM_REPRO",
+                     "\"seed=9,strategy=batched,threads=2,morsel=1,step=-1\"");
+  std::optional<ReproSpec> spec = ReproSpec::FromEnv();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 9u);
+  EXPECT_EQ(spec->threads, 2);
+  EXPECT_TRUE(spec->morsel);
+}
+
+TEST(ReproSpecTest, FromEnvIgnoresMalformedValue) {
+  ScopedEnvVar repro("PGIVM_REPRO", "not-a-spec");
+  EXPECT_FALSE(ReproSpec::FromEnv().has_value());
+}
+
+TEST(ReproSpecTest, FromEnvAbsentIsNullopt) {
+  ScopedEnvVar repro("PGIVM_REPRO", nullptr);
+  EXPECT_FALSE(ReproSpec::FromEnv().has_value());
+}
+
+TEST(SnbDriverReproTest, WithReproAppliesEngineShape) {
+  ReproSpec spec;
+  spec.seed = 77;
+  spec.strategy = PropagationStrategy::kEager;
+  spec.threads = 4;
+  spec.morsel = true;
+  SnbDriverConfig config = SnbDriver::WithRepro(SmallConfig(), spec);
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_EQ(config.engine.network.propagation, PropagationStrategy::kEager);
+  EXPECT_EQ(config.engine.network.executor, ExecutorKind::kParallel);
+  EXPECT_EQ(config.engine.network.num_threads, 4);
+  EXPECT_EQ(config.engine.network.morsel_min_node_entries, 0);
+  // Round trip: the driver built from the repro'd config reports the same
+  // case, so recipes are stable across replay hops.
+  SnbDriver driver(config);
+  EXPECT_TRUE(driver.ReproCase().SameCase(spec));
+}
+
+// ---- validation mode: bit-parity across engine shapes ----------------------
+
+struct EngineShape {
+  const char* name;
+  PropagationStrategy strategy;
+  bool parallel;
+};
+
+constexpr EngineShape kShapes[] = {
+    {"eager", PropagationStrategy::kEager, false},
+    {"batched-serial", PropagationStrategy::kBatched, false},
+    {"batched-parallel", PropagationStrategy::kBatched, true},
+};
+
+TEST(SnbValidationTest, BitParityAcrossSeedsAndShapes) {
+  // The acceptance gate: >= 3 seeds, each under eager, batched-serial and
+  // batched-parallel execution of the engine under test, all bit-identical
+  // to the serial reference. PGIVM_THREADS must not override the shapes.
+  ScopedThreadsEnv pin(nullptr);
+  ScopedEnvVar morsel_pin("PGIVM_MORSEL", nullptr);
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    std::set<uint64_t> fingerprints;
+    for (const EngineShape& shape : kShapes) {
+      SnbDriverConfig config = SmallConfig();
+      config.seed = seed;
+      config.operations = 120;
+      config.validate_every = 2;
+      config.baseline_every = 10;
+      config.engine.network.propagation = shape.strategy;
+      if (shape.parallel) {
+        config.engine.network.executor = ExecutorKind::kParallel;
+        config.engine.network.num_threads = 4;
+        config.engine.network.parallel_min_wave_entries = 0;
+      }
+      SnbDriver driver(config);
+      Result<SnbReport> report = driver.RunValidation();
+      ASSERT_TRUE(report.ok()) << "seed " << seed << " shape " << shape.name
+                               << ": " << report.status().message();
+      EXPECT_GT(report->parity_checks, 0) << shape.name;
+      EXPECT_GT(report->update.operations, 0) << shape.name;
+      fingerprints.insert(report->graph_fingerprint);
+    }
+    // Same seed, same stream, same order => same final graph under every
+    // engine shape.
+    EXPECT_EQ(fingerprints.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(SnbValidationTest, MorselForcedShapeStaysBitIdentical) {
+  ScopedThreadsEnv pin(nullptr);
+  ScopedEnvVar morsel_pin("PGIVM_MORSEL", nullptr);
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 120;
+  config.validate_every = 2;
+  config.engine.network.executor = ExecutorKind::kParallel;
+  config.engine.network.num_threads = 4;
+  config.engine.network.parallel_min_wave_entries = 0;
+  config.engine.network.morsel_min_node_entries = 0;  // force morsel path
+  SnbDriver driver(config);
+  EXPECT_TRUE(driver.ReproCase().morsel);
+  Result<SnbReport> report = driver.RunValidation();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GT(report->parity_checks, 0);
+}
+
+TEST(SnbValidationTest, FingerprintStableAcrossRuns) {
+  ScopedThreadsEnv pin(nullptr);
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 80;
+  SnbDriver driver(config);
+  Result<SnbReport> first = driver.RunValidation();
+  Result<SnbReport> second = driver.RunValidation();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->graph_fingerprint, second->graph_fingerprint);
+  EXPECT_EQ(first->parity_checks, second->parity_checks);
+}
+
+TEST(SnbValidationTest, EmptyStreamIsAnError) {
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 0;
+  SnbDriver driver(config);
+  EXPECT_FALSE(driver.RunValidation().ok());
+  EXPECT_FALSE(driver.RunTimed().ok());
+}
+
+// ---- timed mode ------------------------------------------------------------
+
+TEST(SnbTimedTest, ReportsPerClassLatencies) {
+  ScopedThreadsEnv pin(nullptr);
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 400;
+  SnbDriver driver(config);
+  Result<SnbReport> report = driver.RunTimed();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  // Every op of the stream is accounted to exactly one class.
+  int64_t expected[3] = {0, 0, 0};
+  for (const SnbOp& op : driver.stream()) {
+    ++expected[static_cast<int>(op.op_class)];
+  }
+  EXPECT_EQ(report->complex_read.operations, expected[0]);
+  EXPECT_EQ(report->short_read.operations, expected[1]);
+  EXPECT_EQ(report->update.operations, expected[2]);
+
+  // Histograms carry real samples: counts match and percentiles are
+  // ordered (P50 <= P95 <= P99 <= max by construction).
+  for (const SnbClassStats* stats :
+       {&report->complex_read, &report->short_read, &report->update}) {
+    EXPECT_EQ(stats->latency_ns.count, stats->operations);
+    EXPECT_LE(stats->latency_ns.P50(), stats->latency_ns.P95());
+    EXPECT_LE(stats->latency_ns.P95(), stats->latency_ns.P99());
+    EXPECT_LE(stats->latency_ns.P99(),
+              std::max<int64_t>(stats->latency_ns.max, 1));
+  }
+  EXPECT_GT(report->elapsed_ns, 0);
+  EXPECT_GT(report->operations_per_second, 0.0);
+  EXPECT_GT(report->ingest_batches, 0);
+  EXPECT_NE(report->graph_fingerprint, 0u);
+
+  // The rendering carries the headline numbers.
+  const std::string rendered = report->ToString();
+  EXPECT_NE(rendered.find("complex_read"), std::string::npos);
+  EXPECT_NE(rendered.find("p99"), std::string::npos);
+  EXPECT_NE(rendered.find("ops/s"), std::string::npos);
+}
+
+TEST(SnbTimedTest, ConcurrentClientsApplyTheWholeStream) {
+  ScopedThreadsEnv pin(nullptr);
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 600;
+  config.client_threads = 8;
+  SnbDriver driver(config);
+  Result<SnbReport> report = driver.RunTimed();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  int64_t expected[3] = {0, 0, 0};
+  for (const SnbOp& op : driver.stream()) {
+    ++expected[static_cast<int>(op.op_class)];
+  }
+  // Round-robin dealing across 8 clients still applies every op exactly
+  // once: recorded histogram counts cover the full stream.
+  EXPECT_EQ(report->complex_read.operations, expected[0]);
+  EXPECT_EQ(report->short_read.operations, expected[1]);
+  EXPECT_EQ(report->update.operations, expected[2]);
+}
+
+TEST(SnbTimedTest, LatenciesSurfaceThroughEngineSnapshotNames) {
+  ScopedThreadsEnv pin(nullptr);
+  // The driver records through the engine's MetricsRegistry, so the same
+  // data is visible to any monitoring client via FindHistogram — proven
+  // here indirectly: a fresh driver run must produce consistent counts
+  // (RunTimed itself reads them back through EngineMetricsSnapshot).
+  SnbDriverConfig config = SmallConfig();
+  config.operations = 100;
+  SnbDriver driver(config);
+  Result<SnbReport> report = driver.RunTimed();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->complex_read.operations + report->short_read.operations +
+                report->update.operations,
+            static_cast<int64_t>(driver.stream().size()));
+}
+
+}  // namespace
+}  // namespace pgivm
