@@ -20,6 +20,38 @@ Value LabelsValue(const std::vector<std::string>& labels) {
   return Value::List(std::move(out));
 }
 
+/// Resolves each extract's property key to its symbol — once per operator
+/// evaluation, so the per-element loops below never hash strings.
+/// kNoSymbol for non-property extracts and never-interned names.
+std::vector<SymbolId> ResolveExtractKeys(
+    const SymbolTable& symbols, const std::vector<PropertyExtract>& extracts) {
+  std::vector<SymbolId> keys;
+  keys.reserve(extracts.size());
+  for (const PropertyExtract& extract : extracts) {
+    if (extract.what != PropertyExtract::What::kProperty) {
+      keys.push_back(kNoSymbol);
+      continue;
+    }
+    keys.push_back(symbols.Lookup(extract.key).value_or(kNoSymbol));
+  }
+  return keys;
+}
+
+/// Resolves a name list (required labels / allowed edge types). Returns
+/// false when a name was never interned — no element can match, so the
+/// caller's scan is empty.
+bool ResolveNames(const SymbolTable& symbols,
+                  const std::vector<std::string>& names,
+                  std::vector<SymbolId>* out) {
+  out->reserve(names.size());
+  for (const std::string& name : names) {
+    std::optional<SymbolId> id = symbols.Lookup(name);
+    if (!id) return false;
+    out->push_back(*id);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<Tuple> BaselineEvaluator::SortedRows(const Bag& bag) {
@@ -38,10 +70,10 @@ Result<Bag> BaselineEvaluator::Evaluate(const OpPtr& plan) const {
 }
 
 Value BaselineEvaluator::VertexExtract(const PropertyExtract& extract,
-                                       VertexId v) const {
+                                       SymbolId key, VertexId v) const {
   switch (extract.what) {
     case PropertyExtract::What::kProperty:
-      return graph_->GetVertexProperty(v, extract.key);
+      return graph_->GetVertexProperty(v, key);
     case PropertyExtract::What::kLabels:
       return LabelsValue(graph_->VertexLabels(v));
     case PropertyExtract::What::kPropertyMap:
@@ -53,14 +85,15 @@ Value BaselineEvaluator::VertexExtract(const PropertyExtract& extract,
 }
 
 Value BaselineEvaluator::EdgeExtract(const PropertyExtract& extract,
-                                     VertexId a, VertexId b, EdgeId e) const {
+                                     SymbolId key, VertexId a, VertexId b,
+                                     EdgeId e) const {
   // element_var naming matches the leaf's src/edge/dst columns; the caller
   // resolves which endpoint the extract refers to.
   (void)a;
   (void)b;
   switch (extract.what) {
     case PropertyExtract::What::kProperty:
-      return graph_->GetEdgeProperty(e, extract.key);
+      return graph_->GetEdgeProperty(e, key);
     case PropertyExtract::What::kType:
       return Value::String(graph_->EdgeType(e));
     case PropertyExtract::What::kPropertyMap:
@@ -73,24 +106,28 @@ Value BaselineEvaluator::EdgeExtract(const PropertyExtract& extract,
 
 Result<Bag> BaselineEvaluator::EvalGetVertices(const OpPtr& op) const {
   Bag out;
-  std::vector<std::string> required = op->labels;
-  std::sort(required.begin(), required.end());
+  // Resolve label names and extract keys to symbols once; the per-vertex
+  // loop is then id comparisons and O(1) column probes.
+  std::vector<SymbolId> required;
+  if (!ResolveNames(graph_->symbols(), op->labels, &required)) {
+    return out;  // a label the graph has never seen matches nothing
+  }
+  std::vector<SymbolId> keys =
+      ResolveExtractKeys(graph_->symbols(), op->extracts);
   auto consider = [&](VertexId v) {
-    const std::vector<std::string>& labels = graph_->VertexLabels(v);
-    if (!std::includes(labels.begin(), labels.end(), required.begin(),
-                       required.end())) {
-      return;
+    for (SymbolId label : required) {
+      if (!graph_->VertexHasLabel(v, label)) return;
     }
     std::vector<Value> values;
     values.reserve(1 + op->extracts.size());
     values.push_back(Value::Vertex(v));
-    for (const PropertyExtract& extract : op->extracts) {
-      values.push_back(VertexExtract(extract, v));
+    for (size_t i = 0; i < op->extracts.size(); ++i) {
+      values.push_back(VertexExtract(op->extracts[i], keys[i], v));
     }
     out.Apply(Tuple(std::move(values)), 1);
   };
   if (!required.empty()) {
-    for (VertexId v : graph_->VerticesWithLabel(required[0])) consider(v);
+    for (VertexId v : graph_->VerticesWithLabelId(required[0])) consider(v);
   } else {
     graph_->ForEachVertex(consider);
   }
@@ -99,29 +136,47 @@ Result<Bag> BaselineEvaluator::EvalGetVertices(const OpPtr& op) const {
 
 Result<Bag> BaselineEvaluator::EvalGetEdges(const OpPtr& op) const {
   Bag out;
+  // Types and extract keys resolve to symbols once; the per-edge loop
+  // compares ids and probes columns.
+  std::vector<SymbolId> allowed_types;
+  if (!op->edge_types.empty() &&
+      !ResolveNames(graph_->symbols(), op->edge_types, &allowed_types)) {
+    // A never-interned type still scans the resolvable ones.
+    allowed_types.clear();
+    for (const std::string& type : op->edge_types) {
+      if (std::optional<SymbolId> id = graph_->symbols().Lookup(type)) {
+        allowed_types.push_back(*id);
+      }
+    }
+    if (allowed_types.empty()) return out;
+  }
+  std::vector<SymbolId> keys =
+      ResolveExtractKeys(graph_->symbols(), op->extracts);
   auto build = [&](VertexId a, VertexId b, EdgeId e) {
     std::vector<Value> values;
     values.reserve(3 + op->extracts.size());
     values.push_back(Value::Vertex(a));
     values.push_back(Value::Edge(e));
     values.push_back(Value::Vertex(b));
-    for (const PropertyExtract& extract : op->extracts) {
+    for (size_t i = 0; i < op->extracts.size(); ++i) {
+      const PropertyExtract& extract = op->extracts[i];
       if (extract.element_var == op->edge_var) {
-        values.push_back(EdgeExtract(extract, a, b, e));
+        values.push_back(EdgeExtract(extract, keys[i], a, b, e));
       } else if (extract.element_var == op->src_var) {
-        values.push_back(VertexExtract(extract, a));
+        values.push_back(VertexExtract(extract, keys[i], a));
       } else {
-        values.push_back(VertexExtract(extract, b));
+        values.push_back(VertexExtract(extract, keys[i], b));
       }
     }
     out.Apply(Tuple(std::move(values)), 1);
   };
   auto consider = [&](EdgeId e) {
-    const std::string& type = graph_->EdgeType(e);
-    if (!op->edge_types.empty() &&
-        std::find(op->edge_types.begin(), op->edge_types.end(), type) ==
-            op->edge_types.end()) {
-      return;
+    if (!op->edge_types.empty()) {
+      SymbolId type = graph_->EdgeTypeId(e);
+      if (std::find(allowed_types.begin(), allowed_types.end(), type) ==
+          allowed_types.end()) {
+        return;
+      }
     }
     VertexId src = graph_->EdgeSource(e);
     VertexId dst = graph_->EdgeTarget(e);
@@ -132,8 +187,8 @@ Result<Bag> BaselineEvaluator::EvalGetEdges(const OpPtr& op) const {
   };
   if (!op->edge_types.empty()) {
     std::vector<EdgeId> candidates;
-    for (const std::string& type : op->edge_types) {
-      std::vector<EdgeId> of_type = graph_->EdgesWithType(type);
+    for (SymbolId type : allowed_types) {
+      const std::vector<EdgeId>& of_type = graph_->EdgesWithTypeId(type);
       candidates.insert(candidates.end(), of_type.begin(), of_type.end());
     }
     std::sort(candidates.begin(), candidates.end());
@@ -156,11 +211,19 @@ Result<Bag> BaselineEvaluator::EvalPathJoin(const OpPtr& op) const {
   bool emit_path = !op->path_var.empty();
   int64_t limit = op->max_hops < 0 ? (int64_t{1} << 40) : op->max_hops;
 
+  // Allowed types resolved to symbols once (never-interned names simply
+  // drop out); the per-edge test inside the DFS is an id comparison.
+  std::vector<SymbolId> allowed_types;
+  for (const std::string& type : op->edge_types) {
+    if (std::optional<SymbolId> id = graph_->symbols().Lookup(type)) {
+      allowed_types.push_back(*id);
+    }
+  }
   auto type_ok = [&](EdgeId e) {
     if (op->edge_types.empty()) return true;
-    const std::string& type = graph_->EdgeType(e);
-    return std::find(op->edge_types.begin(), op->edge_types.end(), type) !=
-           op->edge_types.end();
+    SymbolId type = graph_->EdgeTypeId(e);
+    return std::find(allowed_types.begin(), allowed_types.end(), type) !=
+           allowed_types.end();
   };
 
   Bag out;

@@ -38,8 +38,13 @@ class BaselineEvaluator {
   Result<Bag> EvalAggregate(const OpPtr& op) const;
   Result<Bag> EvalUnnest(const OpPtr& op) const;
 
-  Value VertexExtract(const PropertyExtract& extract, VertexId v) const;
-  Value EdgeExtract(const PropertyExtract& extract, VertexId a, VertexId b,
+  // `key` is the extract's property key resolved to a symbol once per
+  // operator evaluation (kNoSymbol for non-property extracts or names the
+  // graph has never seen — both read as null/ignored).
+  Value VertexExtract(const PropertyExtract& extract, SymbolId key,
+                      VertexId v) const;
+  Value EdgeExtract(const PropertyExtract& extract, SymbolId key, VertexId a,
+                    VertexId b,
                     EdgeId e) const;
 
   const PropertyGraph* graph_;

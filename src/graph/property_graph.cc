@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "support/string_util.h"
 
@@ -19,7 +23,63 @@ void EraseId(std::vector<int64_t>& ids, int64_t id) {
   if (it != ids.end()) ids.erase(it);
 }
 
+/// Sorted posting-list maintenance. Most inserts are of a brand-new
+/// maximal id (element creation), so probe the tail before binary search.
+void InsertSorted(std::vector<int64_t>& ids, int64_t id) {
+  if (ids.empty() || ids.back() < id) {
+    ids.push_back(id);
+    return;
+  }
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) ids.insert(it, id);
+}
+
+void EraseSorted(std::vector<int64_t>& ids, int64_t id) {
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it != ids.end() && *it == id) ids.erase(it);
+}
+
+/// The PGIVM_TYPED_COLUMNS environment override, applied only by the
+/// default constructor (the explicit one takes options as-given, matching
+/// the PGIVM_THREADS discipline in network_builder.cc). Strict parse: a
+/// malformed value is ignored with a warning, never silently coerced.
+StorageOptions ApplyEnvStorageOverride(StorageOptions options) {
+  const char* env = std::getenv("PGIVM_TYPED_COLUMNS");
+  if (env == nullptr || *env == '\0') return options;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "pgivm: ignoring PGIVM_TYPED_COLUMNS=\"%s\" (not an "
+                 "integer)\n",
+                 env);
+    return options;
+  }
+  if (errno == ERANGE || value > std::numeric_limits<int>::max() ||
+      value < std::numeric_limits<int>::min()) {
+    std::fprintf(stderr,
+                 "pgivm: ignoring PGIVM_TYPED_COLUMNS=\"%s\" (out of "
+                 "range)\n",
+                 env);
+    return options;
+  }
+  options.typed_columns = value != 0;
+  return options;
+}
+
 }  // namespace
+
+StorageOptions AmbientStorageOptions() {
+  return ApplyEnvStorageOverride(StorageOptions{});
+}
+
+PropertyGraph::PropertyGraph() : PropertyGraph(AmbientStorageOptions()) {}
+
+PropertyGraph::PropertyGraph(StorageOptions storage)
+    : storage_(storage),
+      vertex_props_(&symbols_, storage.typed_columns),
+      edge_props_(&symbols_, storage.typed_columns) {}
 
 PropertyGraph::VertexData& PropertyGraph::MutableVertex(VertexId id) {
   assert(HasVertex(id));
@@ -41,6 +101,15 @@ const PropertyGraph::EdgeData& PropertyGraph::GetEdge(EdgeId id) const {
   return edges_[static_cast<size_t>(id)];
 }
 
+std::vector<std::string> PropertyGraph::LabelNames(
+    const std::vector<SymbolId>& ids) const {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (SymbolId id : ids) names.push_back(symbols_.Name(id));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 VertexId PropertyGraph::AddVertex(std::vector<std::string> labels,
                                   ValueMap properties) {
   SortUnique(labels);
@@ -52,11 +121,21 @@ VertexId PropertyGraph::AddVertex(std::vector<std::string> labels,
   VertexId id = static_cast<VertexId>(vertices_.size());
   VertexData data;
   data.alive = true;
-  data.labels = labels;
-  data.properties = properties;
+  data.labels.reserve(labels.size());
+  for (const std::string& label : labels) {
+    data.labels.push_back(symbols_.Intern(label));
+  }
+  std::sort(data.labels.begin(), data.labels.end());
+  // New id is maximal, so push_back keeps every posting list sorted.
+  for (SymbolId label : data.labels) {
+    if (label >= label_index_.size()) label_index_.resize(label + 1);
+    label_index_[label].push_back(id);
+  }
   vertices_.push_back(std::move(data));
   ++live_vertex_count_;
-  for (const std::string& label : labels) label_index_[label].insert(id);
+  for (const auto& [key, value] : properties) {
+    vertex_props_.Set(id, symbols_.Intern(key), value);
+  }
 
   GraphChange change;
   change.kind = GraphChange::Kind::kAddVertex;
@@ -84,11 +163,14 @@ Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
   data.alive = true;
   data.src = src;
   data.dst = dst;
-  data.type = type;
-  data.properties = properties;
-  edges_.push_back(std::move(data));
+  data.type = symbols_.Intern(type);
+  if (data.type >= type_index_.size()) type_index_.resize(data.type + 1);
+  type_index_[data.type].push_back(id);  // new id is maximal: stays sorted
+  edges_.push_back(data);
   ++live_edge_count_;
-  type_index_[type].insert(id);
+  for (const auto& [key, value] : properties) {
+    edge_props_.Set(id, symbols_.Intern(key), value);
+  }
   vertices_[static_cast<size_t>(src)].out_edges.push_back(id);
   vertices_[static_cast<size_t>(dst)].in_edges.push_back(id);
 
@@ -114,14 +196,14 @@ Status PropertyGraph::RemoveEdge(EdgeId edge) {
   change.edge = edge;
   change.src = data.src;
   change.dst = data.dst;
-  change.edge_type = data.type;
-  change.properties = data.properties;
+  change.edge_type = symbols_.Name(data.type);
+  change.properties = edge_props_.Collect(edge);
 
   EraseId(vertices_[static_cast<size_t>(data.src)].out_edges, edge);
   EraseId(vertices_[static_cast<size_t>(data.dst)].in_edges, edge);
-  type_index_[data.type].erase(edge);
+  EraseSorted(type_index_[data.type], edge);
   data.alive = false;
-  data.properties.clear();
+  edge_props_.ClearElement(edge);
   --live_edge_count_;
 
   Record(std::move(change));
@@ -142,15 +224,15 @@ Status PropertyGraph::RemoveVertex(VertexId vertex) {
   GraphChange change;
   change.kind = GraphChange::Kind::kRemoveVertex;
   change.vertex = vertex;
-  change.labels = data.labels;
-  change.properties = data.properties;
+  change.labels = LabelNames(data.labels);
+  change.properties = vertex_props_.Collect(vertex);
 
-  for (const std::string& label : data.labels) {
-    label_index_[label].erase(vertex);
+  for (SymbolId label : data.labels) {
+    EraseSorted(label_index_[label], vertex);
   }
   data.alive = false;
-  data.properties.clear();
   data.labels.clear();
+  vertex_props_.ClearElement(vertex);
   --live_vertex_count_;
 
   Record(std::move(change));
@@ -175,39 +257,34 @@ Status PropertyGraph::DetachRemoveVertex(VertexId vertex) {
 
 Status PropertyGraph::SetPropertyImpl(bool is_vertex, int64_t id,
                                       std::string key, Value value) {
-  ValueMap* props = nullptr;
+  PropertyStore* store = nullptr;
   GraphChange change;
   if (is_vertex) {
     if (!HasVertex(id)) {
       return Status::NotFound(StrCat("vertex ", id, " does not exist"));
     }
-    VertexData& data = MutableVertex(id);
-    props = &data.properties;
+    store = &vertex_props_;
     change.kind = GraphChange::Kind::kSetVertexProperty;
     change.vertex = id;
-    change.labels = data.labels;
+    change.labels = LabelNames(GetVertex(id).labels);
   } else {
     if (!HasEdge(id)) {
       return Status::NotFound(StrCat("edge ", id, " does not exist"));
     }
-    EdgeData& data = MutableEdge(id);
-    props = &data.properties;
+    const EdgeData& data = GetEdge(id);
+    store = &edge_props_;
     change.kind = GraphChange::Kind::kSetEdgeProperty;
     change.edge = id;
     change.src = data.src;
     change.dst = data.dst;
-    change.edge_type = data.type;
+    change.edge_type = symbols_.Name(data.type);
   }
 
-  auto it = props->find(key);
-  Value old_value = it == props->end() ? Value::Null() : it->second;
+  SymbolId key_symbol = symbols_.Intern(key);
+  Value old_value = store->Get(id, key_symbol);
   if (old_value == value) return Status::Ok();  // No-op write.
 
-  if (value.is_null()) {
-    props->erase(it);
-  } else {
-    (*props)[key] = value;
-  }
+  store->Set(id, key_symbol, value);
 
   change.property_key = std::move(key);
   change.old_value = std::move(old_value);
@@ -233,10 +310,12 @@ Status PropertyGraph::AddVertexLabel(VertexId vertex, std::string label) {
     return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
   }
   VertexData& data = MutableVertex(vertex);
-  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
-  if (it != data.labels.end() && *it == label) return Status::Ok();
-  data.labels.insert(it, label);
-  label_index_[label].insert(vertex);
+  SymbolId symbol = symbols_.Intern(label);
+  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), symbol);
+  if (it != data.labels.end() && *it == symbol) return Status::Ok();
+  data.labels.insert(it, symbol);
+  if (symbol >= label_index_.size()) label_index_.resize(symbol + 1);
+  InsertSorted(label_index_[symbol], vertex);
 
   GraphChange change;
   change.kind = GraphChange::Kind::kAddVertexLabel;
@@ -252,10 +331,12 @@ Status PropertyGraph::RemoveVertexLabel(VertexId vertex,
     return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
   }
   VertexData& data = MutableVertex(vertex);
-  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
-  if (it == data.labels.end() || *it != label) return Status::Ok();
+  std::optional<SymbolId> symbol = symbols_.Lookup(label);
+  if (!symbol) return Status::Ok();  // Never interned: no vertex has it.
+  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), *symbol);
+  if (it == data.labels.end() || *it != *symbol) return Status::Ok();
   data.labels.erase(it);
-  label_index_[label].erase(vertex);
+  EraseSorted(label_index_[*symbol], vertex);
 
   GraphChange change;
   change.kind = GraphChange::Kind::kRemoveVertexLabel;
@@ -270,7 +351,7 @@ Status PropertyGraph::ListAppend(VertexId vertex, const std::string& key,
   if (!HasVertex(vertex)) {
     return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
   }
-  Value current = GetVertexProperty(vertex, key);
+  Value current = GetVertexProperty(vertex, std::string_view(key));
   ValueList elements;
   if (current.is_list()) {
     elements = current.AsList();
@@ -287,7 +368,7 @@ Status PropertyGraph::ListRemoveFirst(VertexId vertex, const std::string& key,
   if (!HasVertex(vertex)) {
     return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
   }
-  Value current = GetVertexProperty(vertex, key);
+  Value current = GetVertexProperty(vertex, std::string_view(key));
   if (!current.is_list()) {
     return Status::FailedPrecondition(
         StrCat("property '", key, "' of vertex ", vertex, " is not a list"));
@@ -308,7 +389,7 @@ Status PropertyGraph::MapPut(VertexId vertex, const std::string& key,
   if (!HasVertex(vertex)) {
     return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
   }
-  Value current = GetVertexProperty(vertex, key);
+  Value current = GetVertexProperty(vertex, std::string_view(key));
   ValueMap entries;
   if (current.is_map()) {
     entries = current.AsMap();
@@ -325,7 +406,7 @@ Status PropertyGraph::MapErase(VertexId vertex, const std::string& key,
   if (!HasVertex(vertex)) {
     return Status::NotFound(StrCat("vertex ", vertex, " does not exist"));
   }
-  Value current = GetVertexProperty(vertex, key);
+  Value current = GetVertexProperty(vertex, std::string_view(key));
   if (!current.is_map()) {
     return Status::FailedPrecondition(
         StrCat("property '", key, "' of vertex ", vertex, " is not a map"));
@@ -386,36 +467,37 @@ bool PropertyGraph::HasEdge(EdgeId edge) const {
          edges_[static_cast<size_t>(edge)].alive;
 }
 
-const std::vector<std::string>& PropertyGraph::VertexLabels(
-    VertexId vertex) const {
-  return GetVertex(vertex).labels;
+std::vector<std::string> PropertyGraph::VertexLabels(VertexId vertex) const {
+  return LabelNames(GetVertex(vertex).labels);
 }
 
 bool PropertyGraph::VertexHasLabel(VertexId vertex,
                                    std::string_view label) const {
-  const std::vector<std::string>& labels = GetVertex(vertex).labels;
-  return std::binary_search(labels.begin(), labels.end(), label);
+  std::optional<SymbolId> symbol = symbols_.Lookup(label);
+  return symbol && VertexHasLabel(vertex, *symbol);
 }
 
 Value PropertyGraph::GetVertexProperty(VertexId vertex,
                                        std::string_view key) const {
-  const ValueMap& props = GetVertex(vertex).properties;
-  auto it = props.find(std::string(key));
-  return it == props.end() ? Value::Null() : it->second;
+  assert(HasVertex(vertex));
+  std::optional<SymbolId> symbol = symbols_.Lookup(key);
+  return symbol ? vertex_props_.Get(vertex, *symbol) : Value::Null();
 }
 
 Value PropertyGraph::GetEdgeProperty(EdgeId edge, std::string_view key) const {
-  const ValueMap& props = GetEdge(edge).properties;
-  auto it = props.find(std::string(key));
-  return it == props.end() ? Value::Null() : it->second;
+  assert(HasEdge(edge));
+  std::optional<SymbolId> symbol = symbols_.Lookup(key);
+  return symbol ? edge_props_.Get(edge, *symbol) : Value::Null();
 }
 
-const ValueMap& PropertyGraph::VertexProperties(VertexId vertex) const {
-  return GetVertex(vertex).properties;
+ValueMap PropertyGraph::VertexProperties(VertexId vertex) const {
+  assert(HasVertex(vertex));
+  return vertex_props_.Collect(vertex);
 }
 
-const ValueMap& PropertyGraph::EdgeProperties(EdgeId edge) const {
-  return GetEdge(edge).properties;
+ValueMap PropertyGraph::EdgeProperties(EdgeId edge) const {
+  assert(HasEdge(edge));
+  return edge_props_.Collect(edge);
 }
 
 VertexId PropertyGraph::EdgeSource(EdgeId edge) const {
@@ -427,7 +509,7 @@ VertexId PropertyGraph::EdgeTarget(EdgeId edge) const {
 }
 
 const std::string& PropertyGraph::EdgeType(EdgeId edge) const {
-  return GetEdge(edge).type;
+  return symbols_.Name(GetEdge(edge).type);
 }
 
 const std::vector<EdgeId>& PropertyGraph::OutEdges(VertexId vertex) const {
@@ -440,15 +522,55 @@ const std::vector<EdgeId>& PropertyGraph::InEdges(VertexId vertex) const {
 
 std::vector<VertexId> PropertyGraph::VerticesWithLabel(
     std::string_view label) const {
-  auto it = label_index_.find(std::string(label));
-  if (it == label_index_.end()) return {};
-  return std::vector<VertexId>(it->second.begin(), it->second.end());
+  std::optional<SymbolId> symbol = symbols_.Lookup(label);
+  if (!symbol) return {};
+  return VerticesWithLabelId(*symbol);
 }
 
 std::vector<EdgeId> PropertyGraph::EdgesWithType(std::string_view type) const {
-  auto it = type_index_.find(std::string(type));
-  if (it == type_index_.end()) return {};
-  return std::vector<EdgeId>(it->second.begin(), it->second.end());
+  std::optional<SymbolId> symbol = symbols_.Lookup(type);
+  if (!symbol) return {};
+  return EdgesWithTypeId(*symbol);
+}
+
+const std::vector<SymbolId>& PropertyGraph::VertexLabelIds(
+    VertexId vertex) const {
+  return GetVertex(vertex).labels;
+}
+
+bool PropertyGraph::VertexHasLabel(VertexId vertex, SymbolId label) const {
+  const std::vector<SymbolId>& labels = GetVertex(vertex).labels;
+  return std::binary_search(labels.begin(), labels.end(), label);
+}
+
+Value PropertyGraph::GetVertexProperty(VertexId vertex, SymbolId key) const {
+  assert(HasVertex(vertex));
+  if (key == kNoSymbol) return Value::Null();
+  return vertex_props_.Get(vertex, key);
+}
+
+Value PropertyGraph::GetEdgeProperty(EdgeId edge, SymbolId key) const {
+  assert(HasEdge(edge));
+  if (key == kNoSymbol) return Value::Null();
+  return edge_props_.Get(edge, key);
+}
+
+SymbolId PropertyGraph::EdgeTypeId(EdgeId edge) const {
+  return GetEdge(edge).type;
+}
+
+const std::vector<VertexId>& PropertyGraph::VerticesWithLabelId(
+    SymbolId label) const {
+  static const std::vector<VertexId> kEmpty;
+  if (label >= label_index_.size()) return kEmpty;  // covers kNoSymbol
+  return label_index_[label];
+}
+
+const std::vector<EdgeId>& PropertyGraph::EdgesWithTypeId(
+    SymbolId type) const {
+  static const std::vector<EdgeId> kEmpty;
+  if (type >= type_index_.size()) return kEmpty;  // covers kNoSymbol
+  return type_index_[type];
 }
 
 void PropertyGraph::ForEachVertex(
@@ -467,32 +589,18 @@ void PropertyGraph::ForEachEdge(const std::function<void(EdgeId)>& fn) const {
 size_t PropertyGraph::ApproxMemoryBytes() const {
   size_t bytes = vertices_.capacity() * sizeof(VertexData) +
                  edges_.capacity() * sizeof(EdgeData);
-  auto value_bytes = [](const Value& v) {
-    // Shallow estimate: enough for trend lines in the memory experiment.
-    size_t b = sizeof(Value);
-    if (v.is_string()) b += v.AsString().size();
-    if (v.is_list()) b += v.AsList().size() * sizeof(Value);
-    if (v.is_map()) b += v.AsMap().size() * (sizeof(Value) + 16);
-    return b;
-  };
   for (const VertexData& v : vertices_) {
-    for (const std::string& l : v.labels) bytes += l.size() + sizeof(l);
-    for (const auto& [k, val] : v.properties) {
-      bytes += k.size() + value_bytes(val);
-    }
+    bytes += v.labels.capacity() * sizeof(SymbolId);
     bytes += (v.out_edges.capacity() + v.in_edges.capacity()) * sizeof(EdgeId);
   }
-  for (const EdgeData& e : edges_) {
-    bytes += e.type.size();
-    for (const auto& [k, val] : e.properties) {
-      bytes += k.size() + value_bytes(val);
-    }
+  bytes += symbols_.ApproxMemoryBytes();
+  bytes += vertex_props_.ApproxMemoryBytes();
+  bytes += edge_props_.ApproxMemoryBytes();
+  for (const std::vector<VertexId>& ids : label_index_) {
+    bytes += ids.capacity() * sizeof(VertexId);
   }
-  for (const auto& [label, ids] : label_index_) {
-    bytes += label.size() + ids.size() * sizeof(VertexId) * 2;
-  }
-  for (const auto& [type, ids] : type_index_) {
-    bytes += type.size() + ids.size() * sizeof(EdgeId) * 2;
+  for (const std::vector<EdgeId>& ids : type_index_) {
+    bytes += ids.capacity() * sizeof(EdgeId);
   }
   return bytes;
 }

@@ -4,22 +4,52 @@
 #include <functional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/graph_delta.h"
+#include "graph/property_columns.h"
+#include "graph/symbol_table.h"
 #include "support/status.h"
 #include "value/ids.h"
 #include "value/value.h"
 
 namespace pgivm {
 
+/// Storage-layout knobs, fixed at graph construction (the layout of live
+/// data cannot change underneath readers).
+struct StorageOptions {
+  /// Typed columnar property storage (symbol-keyed PropertyColumns with
+  /// packed Int64/Double/Bool lanes + Value overflow). Off = the legacy
+  /// per-element row maps, kept for ablation and differential testing;
+  /// both modes are observably identical (see property_columns.h).
+  /// The default PropertyGraph() constructor applies the
+  /// PGIVM_TYPED_COLUMNS environment override (0 = row, nonzero = typed);
+  /// the explicit constructor takes options as-given.
+  bool typed_columns = true;
+};
+
+/// The storage options the default PropertyGraph() constructor uses: the
+/// compiled defaults with the PGIVM_TYPED_COLUMNS override applied. For
+/// code that wants env-following behaviour but must adjust one knob
+/// programmatically before constructing.
+StorageOptions AmbientStorageOptions();
+
 /// In-memory property graph per the paper's data model
 /// G = (V, E, st, L, T, labels, types, Pv, Pe):
 ///  * vertices carry a *set* of labels and a schema-free property map;
 ///  * edges carry exactly one type, a property map, and source/target;
 ///  * property values are pgivm::Value (atomic, list, map — nested data).
+///
+/// Storage is interned + columnar (stage 1 of the vectorized-propagation
+/// refactor): labels, edge types, and property keys live once in a
+/// per-graph SymbolTable; elements carry dense SymbolIds; properties live
+/// in per-symbol typed columns (PropertyStore); and the label/type indexes
+/// are symbol-keyed sorted posting lists, so index scans are deterministic
+/// (ascending id) by construction. The string-based read API remains as
+/// thin shims over one symbol lookup; hot paths use the SymbolId overloads
+/// and skip string hashing entirely. Symbol ids depend on mutation order —
+/// they never appear in change records, fingerprints, or serialized
+/// output, which stay string-based and id-assignment-independent.
 ///
 /// Mutations are observable: every applied change is delivered to registered
 /// GraphListeners as a self-contained GraphDelta (see graph_delta.h). Calls
@@ -31,10 +61,18 @@ namespace pgivm {
 /// reused, so downstream state keyed by id stays unambiguous.
 ///
 /// Thread-compatibility: const methods are safe to call concurrently;
-/// mutations require external synchronization (single-writer model).
+/// mutations require external synchronization (single-writer model). The
+/// embedded SymbolTable follows the same contract (Intern happens only
+/// inside mutations).
 class PropertyGraph {
  public:
-  PropertyGraph() = default;
+  /// Default storage (typed columns), with the PGIVM_TYPED_COLUMNS
+  /// environment override applied.
+  PropertyGraph();
+
+  /// Storage as-given (no environment override) — for ablation harnesses
+  /// that pin a mode programmatically.
+  explicit PropertyGraph(StorageOptions storage);
 
   // Not copyable or movable: listeners hold stable pointers to the graph.
   PropertyGraph(const PropertyGraph&) = delete;
@@ -116,34 +154,70 @@ class PropertyGraph {
   void AddListener(GraphListener* listener);
   void RemoveListener(GraphListener* listener);
 
-  // ---- Reads -------------------------------------------------------------
+  // ---- Reads (string shims) ----------------------------------------------
+  // One symbol lookup, then the id-based fast path. Fine for cold paths;
+  // per-tuple readers should resolve a SymbolRef once and use the SymbolId
+  // overloads below.
 
   bool HasVertex(VertexId vertex) const;
   bool HasEdge(EdgeId edge) const;
 
-  /// Label set of `vertex` (sorted). Requires existence.
-  const std::vector<std::string>& VertexLabels(VertexId vertex) const;
+  /// Label set of `vertex`, materialized sorted by name. Requires
+  /// existence. (By value since the interned representation stores ids;
+  /// hot paths use VertexLabelIds.)
+  std::vector<std::string> VertexLabels(VertexId vertex) const;
   bool VertexHasLabel(VertexId vertex, std::string_view label) const;
 
   /// Property value, or null Value if absent. Requires element existence.
   Value GetVertexProperty(VertexId vertex, std::string_view key) const;
   Value GetEdgeProperty(EdgeId edge, std::string_view key) const;
-  const ValueMap& VertexProperties(VertexId vertex) const;
-  const ValueMap& EdgeProperties(EdgeId edge) const;
+
+  /// Properties materialized as a name-sorted ValueMap (by value since the
+  /// columnar representation has no per-element map to reference).
+  ValueMap VertexProperties(VertexId vertex) const;
+  ValueMap EdgeProperties(EdgeId edge) const;
 
   VertexId EdgeSource(EdgeId edge) const;
   VertexId EdgeTarget(EdgeId edge) const;
+
+  /// The edge's type name. The reference is stable for the graph's
+  /// lifetime (interned spelling).
   const std::string& EdgeType(EdgeId edge) const;
 
   /// Incident edge lists (ids of live edges).
   const std::vector<EdgeId>& OutEdges(VertexId vertex) const;
   const std::vector<EdgeId>& InEdges(VertexId vertex) const;
 
-  /// All live vertices carrying `label`, in unspecified order (label index).
+  /// All live vertices carrying `label`, ascending by id (deterministic:
+  /// the index is a sorted posting list).
   std::vector<VertexId> VerticesWithLabel(std::string_view label) const;
 
-  /// All live edges of `type`, in unspecified order (type index).
+  /// All live edges of `type`, ascending by id (deterministic).
   std::vector<EdgeId> EdgesWithType(std::string_view type) const;
+
+  // ---- Reads (interned fast path) ----------------------------------------
+  // SymbolId arguments accept kNoSymbol (an unresolved SymbolRef) and
+  // treat it as "matches nothing / absent".
+
+  /// The graph's intern table. Mutations may append to it; ids already
+  /// handed out never change.
+  const SymbolTable& symbols() const { return symbols_; }
+
+  const StorageOptions& storage_options() const { return storage_; }
+
+  /// Label symbols of `vertex`, sorted ascending by id.
+  const std::vector<SymbolId>& VertexLabelIds(VertexId vertex) const;
+  bool VertexHasLabel(VertexId vertex, SymbolId label) const;
+
+  Value GetVertexProperty(VertexId vertex, SymbolId key) const;
+  Value GetEdgeProperty(EdgeId edge, SymbolId key) const;
+
+  SymbolId EdgeTypeId(EdgeId edge) const;
+
+  /// Posting list of live vertices carrying label `label`, ascending by
+  /// id. The reference is invalidated by mutations.
+  const std::vector<VertexId>& VerticesWithLabelId(SymbolId label) const;
+  const std::vector<EdgeId>& EdgesWithTypeId(SymbolId type) const;
 
   /// Visits every live vertex/edge id in increasing id order.
   void ForEachVertex(const std::function<void(VertexId)>& fn) const;
@@ -152,15 +226,15 @@ class PropertyGraph {
   size_t vertex_count() const { return live_vertex_count_; }
   size_t edge_count() const { return live_edge_count_; }
 
-  /// Rough heap usage of the store (elements, properties, indexes), for the
-  /// memory experiments.
+  /// Rough heap usage of the store (elements, symbols, properties,
+  /// indexes), for the memory experiments and the `storage.bytes` bench
+  /// counter.
   size_t ApproxMemoryBytes() const;
 
  private:
   struct VertexData {
     bool alive = false;
-    std::vector<std::string> labels;  // sorted, unique
-    ValueMap properties;
+    std::vector<SymbolId> labels;  // sorted by id, unique
     std::vector<EdgeId> out_edges;
     std::vector<EdgeId> in_edges;
   };
@@ -169,14 +243,18 @@ class PropertyGraph {
     bool alive = false;
     VertexId src = kInvalidId;
     VertexId dst = kInvalidId;
-    std::string type;
-    ValueMap properties;
+    SymbolId type = kNoSymbol;
   };
 
   VertexData& MutableVertex(VertexId id);
   const VertexData& GetVertex(VertexId id) const;
   EdgeData& MutableEdge(EdgeId id);
   const EdgeData& GetEdge(EdgeId id) const;
+
+  /// Materializes label names sorted by name (change records and the
+  /// string API promise name order, not id order).
+  std::vector<std::string> LabelNames(
+      const std::vector<SymbolId>& ids) const;
 
   /// Records one applied change: appended to the open batch, or emitted as a
   /// singleton delta.
@@ -187,13 +265,19 @@ class PropertyGraph {
   Status SetPropertyImpl(bool is_vertex, int64_t id, std::string key,
                          Value value);
 
+  StorageOptions storage_;
+  SymbolTable symbols_;
+  PropertyStore vertex_props_;
+  PropertyStore edge_props_;
+
   std::vector<VertexData> vertices_;
   std::vector<EdgeData> edges_;
   size_t live_vertex_count_ = 0;
   size_t live_edge_count_ = 0;
 
-  std::unordered_map<std::string, std::unordered_set<VertexId>> label_index_;
-  std::unordered_map<std::string, std::unordered_set<EdgeId>> type_index_;
+  // Sorted posting lists indexed by label/type SymbolId.
+  std::vector<std::vector<VertexId>> label_index_;
+  std::vector<std::vector<EdgeId>> type_index_;
 
   bool in_batch_ = false;
   GraphDelta pending_;

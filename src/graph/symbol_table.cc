@@ -1,0 +1,34 @@
+#include "graph/symbol_table.h"
+
+#include <cassert>
+
+namespace pgivm {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  assert(names_.size() < kNoSymbol && "symbol table full");
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t SymbolTable::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const std::string& name : names_) {
+    bytes += sizeof(std::string) + name.size();
+  }
+  // Index buckets + nodes (string_view key, id, hash, next pointer).
+  bytes += index_.bucket_count() * sizeof(void*) +
+           index_.size() * (sizeof(std::string_view) + sizeof(SymbolId) + 16);
+  return bytes;
+}
+
+}  // namespace pgivm

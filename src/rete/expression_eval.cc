@@ -240,6 +240,9 @@ Value BoundExpression::EvalNode(const Expression& e,
         return it == map.end() ? Value::Null() : it->second;
       }
       if (graph_ != nullptr) {
+        // Baseline-evaluator path only (incremental plans push property
+        // reads into source extracts). The string shim is one symbol
+        // lookup + an O(1) column probe — allocation-free.
         if (subject.is_vertex() && graph_->HasVertex(subject.AsVertex())) {
           return graph_->GetVertexProperty(subject.AsVertex(), e.name);
         }

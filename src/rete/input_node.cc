@@ -43,6 +43,16 @@ VertexInputNode::VertexInputNode(Schema schema, const PropertyGraph* graph,
       required_labels_(std::move(required_labels)),
       extracts_(std::move(extracts)) {
   std::sort(required_labels_.begin(), required_labels_.end());
+  required_label_refs_.reserve(required_labels_.size());
+  for (const std::string& label : required_labels_) {
+    required_label_refs_.emplace_back(label);
+  }
+  extract_key_refs_.reserve(extracts_.size());
+  for (const PropertyExtract& extract : extracts_) {
+    extract_key_refs_.emplace_back(
+        extract.what == PropertyExtract::What::kProperty ? extract.key
+                                                         : std::string());
+  }
 }
 
 void VertexInputNode::OnDelta(int port, const Delta& delta) {
@@ -55,6 +65,17 @@ bool VertexInputNode::Matches(const std::vector<std::string>& labels) const {
   // Both sides sorted: subset test by inclusion.
   return std::includes(labels.begin(), labels.end(),
                        required_labels_.begin(), required_labels_.end());
+}
+
+bool VertexInputNode::MatchesGraph(VertexId v) const {
+  const SymbolTable& symbols = graph_->symbols();
+  for (const SymbolRef& ref : required_label_refs_) {
+    SymbolId label = ref.Resolve(symbols);
+    // Unresolved: the label name has never been interned, so no vertex
+    // carries it.
+    if (label == kNoSymbol || !graph_->VertexHasLabel(v, label)) return false;
+  }
+  return true;
 }
 
 Value VertexInputNode::ExtractValue(const PropertyExtract& extract,
@@ -81,6 +102,31 @@ Tuple VertexInputNode::BuildTuple(VertexId v,
   values.push_back(Value::Vertex(v));
   for (const PropertyExtract& extract : extracts_) {
     values.push_back(ExtractValue(extract, labels, properties));
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple VertexInputNode::BuildTupleFromGraph(VertexId v) const {
+  const SymbolTable& symbols = graph_->symbols();
+  std::vector<Value> values;
+  values.reserve(1 + extracts_.size());
+  values.push_back(Value::Vertex(v));
+  for (size_t i = 0; i < extracts_.size(); ++i) {
+    switch (extracts_[i].what) {
+      case PropertyExtract::What::kProperty:
+        values.push_back(graph_->GetVertexProperty(
+            v, extract_key_refs_[i].Resolve(symbols)));
+        break;
+      case PropertyExtract::What::kLabels:
+        values.push_back(LabelsValue(graph_->VertexLabels(v)));
+        break;
+      case PropertyExtract::What::kPropertyMap:
+        values.push_back(Value::Map(graph_->VertexProperties(v)));
+        break;
+      case PropertyExtract::What::kType:
+        values.push_back(Value::Null());  // Vertices have no type.
+        break;
+    }
   }
   return Tuple(std::move(values));
 }
@@ -142,14 +188,12 @@ void VertexInputNode::TranslateChange(const GraphChange& change,
     case GraphChange::Kind::kAddVertexLabel:
     case GraphChange::Kind::kRemoveVertexLabel: {
       VertexId v = change.vertex;
-      bool matched_now =
-          graph_->HasVertex(v) && Matches(graph_->VertexLabels(v));
+      bool matched_now = graph_->HasVertex(v) && MatchesGraph(v);
       auto& shard = asserted_.shard(v);
       auto it = shard.find(v);
       if (it == shard.end()) {
         if (!matched_now) return;
-        Tuple tuple = BuildTuple(v, graph_->VertexLabels(v),
-                                 graph_->VertexProperties(v));
+        Tuple tuple = BuildTupleFromGraph(v);
         shard.emplace(v, tuple);
         out.push_back({std::move(tuple), 1});
         return;
@@ -194,18 +238,17 @@ void VertexInputNode::HandleChangePartition(const GraphChange& change,
 void VertexInputNode::EmitInitialFromGraph() {
   Delta delta;
   auto consider = [this, &delta](VertexId v) {
-    if (!Matches(graph_->VertexLabels(v))) return;
-    Tuple tuple = BuildTuple(v, graph_->VertexLabels(v),
-                             graph_->VertexProperties(v));
+    if (!MatchesGraph(v)) return;
+    Tuple tuple = BuildTupleFromGraph(v);
     asserted_.shard(v).emplace(v, tuple);
     delta.push_back({std::move(tuple), 1});
   };
   // One entry per matching vertex: reserve the candidate count up front so
   // priming a large graph does not grow the delta step by step.
   if (!required_labels_.empty()) {
-    std::vector<VertexId> candidates =
-        graph_->VerticesWithLabel(required_labels_[0]);
-    std::sort(candidates.begin(), candidates.end());
+    // The posting list is already sorted ascending by id — scan in place.
+    const std::vector<VertexId>& candidates = graph_->VerticesWithLabelId(
+        required_label_refs_[0].Resolve(graph_->symbols()));
     delta.reserve(candidates.size());
     for (VertexId v : candidates) consider(v);
   } else {
@@ -252,8 +295,14 @@ EdgeInputNode::EdgeInputNode(Schema schema, const PropertyGraph* graph,
       edge_var_(std::move(edge_var)),
       dst_var_(std::move(dst_var)),
       extracts_(std::move(extracts)) {
+  type_refs_.reserve(types_.size());
+  for (const std::string& type : types_) type_refs_.emplace_back(type);
+  extract_key_refs_.reserve(extracts_.size());
   for (const PropertyExtract& extract : extracts_) {
     if (extract.element_var != edge_var_) depends_on_vertices_ = true;
+    extract_key_refs_.emplace_back(
+        extract.what == PropertyExtract::What::kProperty ? extract.key
+                                                         : std::string());
   }
 }
 
@@ -268,9 +317,20 @@ bool EdgeInputNode::TypeMatches(const std::string& type) const {
   return std::find(types_.begin(), types_.end(), type) != types_.end();
 }
 
-Value EdgeInputNode::ExtractValue(const PropertyExtract& extract, VertexId a,
-                                  VertexId b, const std::string& type,
+bool EdgeInputNode::TypeMatchesId(SymbolId type) const {
+  if (types_.empty()) return true;
+  const SymbolTable& symbols = graph_->symbols();
+  for (const SymbolRef& ref : type_refs_) {
+    // An unresolved ref (name never interned) cannot equal a live type id.
+    if (ref.Resolve(symbols) == type) return true;
+  }
+  return false;
+}
+
+Value EdgeInputNode::ExtractValue(size_t i, VertexId a, VertexId b,
+                                  const std::string& type,
                                   const ValueMap& edge_properties) const {
+  const PropertyExtract& extract = extracts_[i];
   if (extract.element_var == edge_var_) {
     switch (extract.what) {
       case PropertyExtract::What::kProperty:
@@ -284,10 +344,13 @@ Value EdgeInputNode::ExtractValue(const PropertyExtract& extract, VertexId a,
     }
     return Value::Null();
   }
+  // Endpoint extracts read live graph state through the resolved key
+  // symbol: O(1) column probe, no string hashing.
   VertexId subject = extract.element_var == src_var_ ? a : b;
   switch (extract.what) {
     case PropertyExtract::What::kProperty:
-      return graph_->GetVertexProperty(subject, extract.key);
+      return graph_->GetVertexProperty(
+          subject, extract_key_refs_[i].Resolve(graph_->symbols()));
     case PropertyExtract::What::kLabels:
       return LabelsValue(graph_->VertexLabels(subject));
     case PropertyExtract::What::kPropertyMap:
@@ -306,8 +369,56 @@ Tuple EdgeInputNode::BuildTuple(VertexId a, VertexId b, EdgeId e,
   values.push_back(Value::Vertex(a));
   values.push_back(Value::Edge(e));
   values.push_back(Value::Vertex(b));
-  for (const PropertyExtract& extract : extracts_) {
-    values.push_back(ExtractValue(extract, a, b, type, edge_properties));
+  for (size_t i = 0; i < extracts_.size(); ++i) {
+    values.push_back(ExtractValue(i, a, b, type, edge_properties));
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple EdgeInputNode::BuildTupleFromGraph(VertexId a, VertexId b,
+                                         EdgeId e) const {
+  const SymbolTable& symbols = graph_->symbols();
+  std::vector<Value> values;
+  values.reserve(3 + extracts_.size());
+  values.push_back(Value::Vertex(a));
+  values.push_back(Value::Edge(e));
+  values.push_back(Value::Vertex(b));
+  for (size_t i = 0; i < extracts_.size(); ++i) {
+    const PropertyExtract& extract = extracts_[i];
+    if (extract.element_var == edge_var_) {
+      switch (extract.what) {
+        case PropertyExtract::What::kProperty:
+          values.push_back(graph_->GetEdgeProperty(
+              e, extract_key_refs_[i].Resolve(symbols)));
+          break;
+        case PropertyExtract::What::kType:
+          values.push_back(Value::String(graph_->EdgeType(e)));
+          break;
+        case PropertyExtract::What::kPropertyMap:
+          values.push_back(Value::Map(graph_->EdgeProperties(e)));
+          break;
+        case PropertyExtract::What::kLabels:
+          values.push_back(Value::Null());
+          break;
+      }
+      continue;
+    }
+    VertexId subject = extract.element_var == src_var_ ? a : b;
+    switch (extract.what) {
+      case PropertyExtract::What::kProperty:
+        values.push_back(graph_->GetVertexProperty(
+            subject, extract_key_refs_[i].Resolve(symbols)));
+        break;
+      case PropertyExtract::What::kLabels:
+        values.push_back(LabelsValue(graph_->VertexLabels(subject)));
+        break;
+      case PropertyExtract::What::kPropertyMap:
+        values.push_back(Value::Map(graph_->VertexProperties(subject)));
+        break;
+      case PropertyExtract::What::kType:
+        values.push_back(Value::Null());
+        break;
+    }
   }
   return Tuple(std::move(values));
 }
@@ -320,6 +431,18 @@ void EdgeInputNode::AssertEdge(EdgeId e, VertexId src, VertexId dst,
   out.push_back({tuples.back(), 1});
   if (undirected_ && src != dst) {
     tuples.push_back(BuildTuple(dst, src, e, type, edge_properties));
+    out.push_back({tuples.back(), 1});
+  }
+}
+
+void EdgeInputNode::AssertEdgeFromGraph(EdgeId e, Delta& out) {
+  VertexId src = graph_->EdgeSource(e);
+  VertexId dst = graph_->EdgeTarget(e);
+  std::vector<Tuple>& tuples = asserted_.shard(e)[e];
+  tuples.push_back(BuildTupleFromGraph(src, dst, e));
+  out.push_back({tuples.back(), 1});
+  if (undirected_ && src != dst) {
+    tuples.push_back(BuildTupleFromGraph(dst, src, e));
     out.push_back({tuples.back(), 1});
   }
 }
@@ -342,14 +465,14 @@ void EdgeInputNode::RefreshIncident(VertexId v, uint32_t partition,
     if (!OwnsEntity(e, partition, partitions)) continue;
     std::vector<Tuple>* stored = asserted_.Find(e);
     if (stored == nullptr) continue;
-    const std::string& type = graph_->EdgeType(e);
-    const ValueMap& props = graph_->EdgeProperties(e);
     VertexId src = graph_->EdgeSource(e);
     VertexId dst = graph_->EdgeTarget(e);
+    // Interned fast path: tight typed reads per extract, no per-edge
+    // property-map materialization or string hashing.
     std::vector<Tuple> fresh;
-    fresh.push_back(BuildTuple(src, dst, e, type, props));
+    fresh.push_back(BuildTupleFromGraph(src, dst, e));
     if (undirected_ && src != dst) {
-      fresh.push_back(BuildTuple(dst, src, e, type, props));
+      fresh.push_back(BuildTupleFromGraph(dst, src, e));
     }
     for (size_t i = 0; i < stored->size(); ++i) {
       if (!((*stored)[i] == fresh[i])) {
@@ -444,20 +567,24 @@ void EdgeInputNode::HandleChangePartition(const GraphChange& change,
 void EdgeInputNode::EmitInitialFromGraph() {
   Delta delta;
   auto consider = [this, &delta](EdgeId e) {
-    if (!TypeMatches(graph_->EdgeType(e))) return;
-    AssertEdge(e, graph_->EdgeSource(e), graph_->EdgeTarget(e),
-               graph_->EdgeType(e), graph_->EdgeProperties(e), delta);
+    if (!TypeMatchesId(graph_->EdgeTypeId(e))) return;
+    AssertEdgeFromGraph(e, delta);
   };
   // Reserve against the *filtered* candidate count (one entry per
   // orientation), not the whole edge store — a selective type over a huge
   // graph must not transiently allocate O(all edges), and priming repeats
   // on every catalog registration.
   if (!types_.empty()) {
+    const SymbolTable& symbols = graph_->symbols();
     std::vector<EdgeId> candidates;
-    for (const std::string& type : types_) {
-      std::vector<EdgeId> of_type = graph_->EdgesWithType(type);
+    for (const SymbolRef& ref : type_refs_) {
+      const std::vector<EdgeId>& of_type =
+          graph_->EdgesWithTypeId(ref.Resolve(symbols));
       candidates.insert(candidates.end(), of_type.begin(), of_type.end());
     }
+    // Each posting list is sorted; merging several still needs a sort, and
+    // a multi-type pattern could list one edge twice only if types_ held
+    // duplicates — keep the unique pass for safety.
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());

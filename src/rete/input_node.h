@@ -81,8 +81,17 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
 
  private:
   bool Matches(const std::vector<std::string>& labels) const;
+  /// Label test against live graph state: resolved symbols + binary search
+  /// over the vertex's sorted label-id set — no string handling.
+  bool MatchesGraph(VertexId v) const;
   Tuple BuildTuple(VertexId v, const std::vector<std::string>& labels,
                    const ValueMap& properties) const;
+  /// Builds the tuple from live graph state via the interned fast path:
+  /// property extracts are O(1) column probes through the resolved key
+  /// symbols (strings are materialized only for labels()/property-map
+  /// extracts). Must produce exactly what BuildTuple produces from a
+  /// change record of the same state — the asserted map mixes both.
+  Tuple BuildTupleFromGraph(VertexId v) const;
   static Value ExtractValue(const PropertyExtract& extract,
                             const std::vector<std::string>& labels,
                             const ValueMap& properties);
@@ -95,6 +104,10 @@ class VertexInputNode : public ReteNode, public GraphSourceNode {
   const PropertyGraph* graph_;
   std::vector<std::string> required_labels_;  // sorted
   std::vector<PropertyExtract> extracts_;
+  // Plan-time name→symbol resolution (lazy, cached): one ref per required
+  // label, and one per extract (meaningful for kProperty only).
+  std::vector<SymbolRef> required_label_refs_;
+  std::vector<SymbolRef> extract_key_refs_;
   ShardedIdMap<VertexId, Tuple> asserted_;
 };
 
@@ -131,15 +144,26 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
 
  private:
   bool TypeMatches(const std::string& type) const;
-  /// Builds the tuple for orientation (a -> b) of edge `e`.
+  /// Type test against an interned type symbol (live graph state).
+  bool TypeMatchesId(SymbolId type) const;
+  /// Builds the tuple for orientation (a -> b) of edge `e` from a change
+  /// record's type/properties. Extract `i` reads through extracts_[i] /
+  /// extract_key_refs_[i].
   Tuple BuildTuple(VertexId a, VertexId b, EdgeId e, const std::string& type,
                    const ValueMap& edge_properties) const;
-  Value ExtractValue(const PropertyExtract& extract, VertexId a, VertexId b,
+  /// Builds the same tuple from live graph state via the interned fast
+  /// path: edge/endpoint property extracts are O(1) column probes, no
+  /// per-tuple string hashing or property-map materialization. Must agree
+  /// with BuildTuple on identical state — the asserted map mixes both.
+  Tuple BuildTupleFromGraph(VertexId a, VertexId b, EdgeId e) const;
+  Value ExtractValue(size_t i, VertexId a, VertexId b,
                      const std::string& type,
                      const ValueMap& edge_properties) const;
   void AssertEdge(EdgeId e, VertexId src, VertexId dst,
                   const std::string& type, const ValueMap& edge_properties,
                   Delta& out);
+  /// AssertEdge reading live graph state (priming path).
+  void AssertEdgeFromGraph(EdgeId e, Delta& out);
   /// Recomputes stored tuples of every incident edge of `v` that
   /// `partition` owns after a vertex-side update.
   void RefreshIncident(VertexId v, uint32_t partition, uint32_t partitions,
@@ -154,6 +178,10 @@ class EdgeInputNode : public ReteNode, public GraphSourceNode {
   std::string edge_var_;
   std::string dst_var_;
   std::vector<PropertyExtract> extracts_;
+  // Plan-time name→symbol resolution (lazy, cached): one ref per allowed
+  // type, and one per extract (meaningful for kProperty only).
+  std::vector<SymbolRef> type_refs_;
+  std::vector<SymbolRef> extract_key_refs_;
   bool depends_on_vertices_ = false;
   ShardedIdMap<EdgeId, std::vector<Tuple>> asserted_;
 };

@@ -23,7 +23,10 @@ PathInputNode::PathInputNode(Schema schema, const PropertyGraph* graph,
       reversed_(reversed),
       min_hops_(min_hops),
       max_hops_(max_hops),
-      emit_path_(emit_path) {}
+      emit_path_(emit_path) {
+  type_refs_.reserve(types_.size());
+  for (const std::string& type : types_) type_refs_.emplace_back(type);
+}
 
 void PathInputNode::OnDelta(int port, const Delta& delta) {
   (void)port;
@@ -34,6 +37,15 @@ void PathInputNode::OnDelta(int port, const Delta& delta) {
 bool PathInputNode::TypeMatches(const std::string& type) const {
   if (types_.empty()) return true;
   return std::find(types_.begin(), types_.end(), type) != types_.end();
+}
+
+bool PathInputNode::TypeMatchesId(SymbolId type) const {
+  if (types_.empty()) return true;
+  const SymbolTable& symbols = graph_->symbols();
+  for (const SymbolRef& ref : type_refs_) {
+    if (ref.Resolve(symbols) == type) return true;
+  }
+  return false;
 }
 
 Tuple PathInputNode::MakeTuple(const Path& path) const {
@@ -50,7 +62,7 @@ void PathInputNode::ForEachStep(
   const std::vector<EdgeId>& edges =
       reversed_ ? graph_->InEdges(a) : graph_->OutEdges(a);
   for (EdgeId e : edges) {
-    if (!TypeMatches(graph_->EdgeType(e))) continue;
+    if (!TypeMatchesId(graph_->EdgeTypeId(e))) continue;
     fn(e, reversed_ ? graph_->EdgeSource(e) : graph_->EdgeTarget(e));
   }
 }
@@ -60,7 +72,7 @@ void PathInputNode::ForEachReverseStep(
   const std::vector<EdgeId>& edges =
       reversed_ ? graph_->OutEdges(a) : graph_->InEdges(a);
   for (EdgeId e : edges) {
-    if (!TypeMatches(graph_->EdgeType(e))) continue;
+    if (!TypeMatchesId(graph_->EdgeTypeId(e))) continue;
     fn(e, reversed_ ? graph_->EdgeTarget(e) : graph_->EdgeSource(e));
   }
 }

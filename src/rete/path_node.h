@@ -61,6 +61,9 @@ class PathInputNode : public ReteNode, public GraphSourceNode {
                          const std::vector<EdgeId>& edges)>;
 
   bool TypeMatches(const std::string& type) const;
+  /// Type test against an interned type symbol — the per-edge check inside
+  /// the DFS steps, so it must not touch strings.
+  bool TypeMatchesId(SymbolId type) const;
   Tuple MakeTuple(const Path& path) const;
 
   /// Pattern-forward steps from `a`: calls fn(edge, next_vertex) for each
@@ -94,6 +97,7 @@ class PathInputNode : public ReteNode, public GraphSourceNode {
 
   const PropertyGraph* graph_;
   std::vector<std::string> types_;
+  std::vector<SymbolRef> type_refs_;  // lazy name→symbol resolution
   bool reversed_;
   int64_t min_hops_;
   int64_t max_hops_;  // -1 = unbounded (trail property still bounds length)

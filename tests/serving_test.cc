@@ -145,9 +145,14 @@ struct PinnedState {
 /// reference rows recorded for that epoch — i.e. every concurrently
 /// observed state is a committed serial state, bit for bit.
 void RunConcurrentReaderHarness(const EngineOptions& options, uint64_t seed,
-                                int reader_count) {
+                                int reader_count, bool typed_columns) {
   ScopedThreadsEnv no_env(nullptr);
-  PropertyGraph graph;
+  // Storage is a harness dimension: the epoch-publication contract must
+  // hold over both the typed columnar layout and the legacy row maps
+  // (readers pin snapshots while the writer mutates either layout).
+  StorageOptions storage;
+  storage.typed_columns = typed_columns;
+  PropertyGraph graph(storage);
   RandomGraphConfig config;
   config.seed = seed;
   RandomGraphGenerator generator(config);
@@ -248,6 +253,8 @@ struct HarnessConfig {
   PropagationStrategy propagation;
   ExecutorKind executor;
   int num_threads;
+  /// Graph storage under the engines (typed columns vs legacy row maps).
+  bool typed_columns = true;
 };
 
 class ServingDifferentialTest
@@ -265,7 +272,8 @@ TEST_P(ServingDifferentialTest, PinnedSnapshotsMatchCommittedEpochs) {
   // delays retirement of unpinned epochs).
   options.network.epoch_retention = 4;
   for (uint64_t seed : {uint64_t{101}, uint64_t{202}, uint64_t{303}}) {
-    RunConcurrentReaderHarness(options, seed, /*reader_count=*/8);
+    RunConcurrentReaderHarness(options, seed, /*reader_count=*/8,
+                               harness.typed_columns);
   }
 }
 
@@ -279,7 +287,15 @@ INSTANTIATE_TEST_SUITE_P(
         HarnessConfig{"batched_parallel2", PropagationStrategy::kBatched,
                       ExecutorKind::kParallel, 2},
         HarnessConfig{"batched_parallel8", PropagationStrategy::kBatched,
-                      ExecutorKind::kParallel, 8}),
+                      ExecutorKind::kParallel, 8},
+        // Row-storage ablation rows: the serial + most-parallel shapes
+        // again over the legacy layout (the dual-mode CI run flips the
+        // rest via PGIVM_TYPED_COLUMNS=0; these two stay pinned even in
+        // default runs).
+        HarnessConfig{"eager_row", PropagationStrategy::kEager,
+                      ExecutorKind::kSerial, 0, /*typed_columns=*/false},
+        HarnessConfig{"batched_parallel8_row", PropagationStrategy::kBatched,
+                      ExecutorKind::kParallel, 8, /*typed_columns=*/false}),
     [](const auto& info) { return std::string(info.param.name); });
 
 /// SubmitAsync: mutations from several producer threads are coalesced by
